@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (see
+DESIGN.md §3) and prints the regenerated table after timing, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the full
+evaluation in one command.
+"""
+
+import pytest
+
+
+def emit(record) -> None:
+    """Print an experiment record beneath the benchmark output."""
+    print()
+    print(record.to_text())
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    """Benchmarks default to the fast sweeps; set REPRO_FULL=1 for the
+    full (slow) parameter ranges."""
+    import os
+
+    return os.environ.get("REPRO_FULL", "") != "1"

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Mine rescue: two identical robots in a perfectly symmetric mine.
+
+The paper's motivating scenario: mobile robots moving in the corridors
+of a contaminated mine.  The mine here is a *symmetric tree* — a
+central gallery with two port-isomorphic wings — so the two robots,
+dropped at mirror positions, see literally identical surroundings
+forever: no map, no labels, no landmarks.
+
+The striking fact from Section 3: however deep in the wings the robots
+start (distance 2*depth + 1 apart), ``Shrink = 1`` — a single round of
+start-time difference is enough to let a deterministic algorithm bring
+them together, because a common port sequence can funnel both robots
+to the two ends of the central gallery.
+
+Run:  python examples/mine_rescue.py
+"""
+
+from repro.core import rendezvous
+from repro.graphs import mirror_node, symmetric_tree
+from repro.symmetry import classify_stic, shrink_witness
+
+
+def main() -> None:
+    arity, depth = 2, 2
+    mine = symmetric_tree(arity, depth)
+
+    # Deepest leaf of the left wing and its mirror image.
+    robot_a = mine.n // 2 - 1
+    robot_b = mirror_node(robot_a, arity, depth)
+    distance = mine.distance(robot_a, robot_b)
+
+    print(f"Mine: symmetric tree, {mine.n} junctions, two mirrored wings")
+    print(f"Robots at mirror leaves {robot_a} and {robot_b}, "
+          f"{distance} corridors apart")
+
+    value, alpha, (x, y) = shrink_witness(mine, robot_a, robot_b)
+    print(f"Shrink = {value}: the common port sequence {alpha} drives the "
+          f"robots to adjacent junctions {x} and {y}")
+    print()
+
+    # Delay 0: hopeless. Delay 1: rescue succeeds.
+    for delta in (0, 1):
+        verdict = classify_stic(mine, robot_a, robot_b, delta)
+        print(f"start-time difference {delta}: "
+              f"{'feasible' if verdict.feasible else 'IMPOSSIBLE'} "
+              f"({verdict.reason})")
+        if verdict.feasible:
+            result = rendezvous(mine, robot_a, robot_b, delta)
+            assert result.met
+            print(f"  -> robots met at junction {result.meeting_node} after "
+                  f"{result.time_from_later} rounds, despite starting "
+                  f"{distance} corridors apart")
+    print()
+    print("Takeaway: in a fully symmetric environment, one round of delay")
+    print("is worth more than any amount of distance (Shrink collapses to 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: feasibility and universal rendezvous in 30 lines.
+
+Two anonymous agents are dropped on an oriented ring.  Every pair of
+nodes looks identical (the ring is vertex-transitive), so *space*
+cannot break the symmetry between them — only the difference between
+their starting times can.  This script checks when that is enough
+(Corollary 3.1) and runs Algorithm UniversalRV to actually meet.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import rendezvous
+from repro.graphs import oriented_ring
+from repro.symmetry import classify_stic, shrink
+
+def main() -> None:
+    ring = oriented_ring(6)
+    u, v = 0, 3  # antipodal nodes
+
+    print(f"Graph: oriented ring, n={ring.n}; agents at {u} and {v}")
+    print(f"Shrink({u}, {v}) = {shrink(ring, u, v)}  "
+          "(no common port sequence brings them closer)")
+    print()
+
+    for delta in (0, 2, 3, 5):
+        verdict = classify_stic(ring, u, v, delta)
+        print(f"delay {delta}: {verdict.reason}")
+        if not verdict.feasible:
+            continue
+        result = rendezvous(ring, u, v, delta)
+        assert result.met
+        print(
+            f"  -> UniversalRV met at node {result.meeting_node} "
+            f"after {result.time_from_later} rounds "
+            f"(from the later agent's start)"
+        )
+    print()
+    print("Delays below Shrink are infeasible for ANY deterministic")
+    print("algorithm (Lemma 3.1); at or above Shrink, UniversalRV meets")
+    print("with no knowledge of the graph, positions, or delay (Thm 3.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Using Time to Break Symmetry: Universal
+Deterministic Anonymous Rendezvous" (Pelc & Yadav, SPAA 2019).
+
+Quickstart::
+
+    from repro.graphs import oriented_ring
+    from repro.core import rendezvous
+    from repro.symmetry import classify_stic
+
+    g = oriented_ring(6)
+    print(classify_stic(g, 0, 3, delta=3))   # symmetric, Shrink=3, feasible
+    result = rendezvous(g, 0, 3, delta=3)
+    print(result.met, result.time_from_later)
+
+Subpackages
+-----------
+``repro.graphs``
+    Port-labeled anonymous graphs and the structured families the
+    paper's examples use.
+``repro.symmetry``
+    Views, node symmetry, ``Shrink`` (Definition 3.1), and STIC
+    feasibility (Corollary 3.1).
+``repro.sim``
+    The synchronous two-agent scheduler with adversarial delay.
+``repro.core``
+    The paper's procedures: UXS, ``Explore``, ``SymmRV``, ``AsymmRV``,
+    and ``UniversalRV``.
+``repro.hardness``
+    The Section 4 lower-bound construction (Q_h, Q-hat_h, the set Z).
+``repro.baselines``
+    Random-walk rendezvous, wait-for-Mommy, the asymmetric-only
+    variant, and the leader-election reduction.
+``repro.experiments``
+    Drivers regenerating every figure/claim of the paper.
+"""
+
+from repro.core import rendezvous
+from repro.core.stic import STIC
+from repro.graphs import PortLabeledGraph
+from repro.symmetry import classify_stic, shrink
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "rendezvous",
+    "STIC",
+    "PortLabeledGraph",
+    "classify_stic",
+    "shrink",
+    "__version__",
+]

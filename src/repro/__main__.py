@@ -1,0 +1,12 @@
+"""``python -m repro`` — run the reproduction's experiment suite.
+
+Delegates to :mod:`repro.experiments.runner`; see
+``python -m repro --help`` for options.
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Baselines and reductions the paper positions itself against."""
+
+from repro.baselines.asymm_only import (
+    asymm_only_round_budget,
+    asymm_only_rv,
+    make_asymm_only_algorithm,
+)
+from repro.baselines.leader_election import Election, elect_leader
+from repro.baselines.random_walk import (
+    RandomWalkOutcome,
+    mean_meeting_time,
+    random_walk_rendezvous,
+)
+from repro.baselines.wait_for_mommy import MommyOutcome, wait_for_mommy
+
+__all__ = [
+    "random_walk_rendezvous",
+    "mean_meeting_time",
+    "RandomWalkOutcome",
+    "wait_for_mommy",
+    "MommyOutcome",
+    "asymm_only_rv",
+    "make_asymm_only_algorithm",
+    "asymm_only_round_budget",
+    "elect_leader",
+    "Election",
+]

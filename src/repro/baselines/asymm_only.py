@@ -1,0 +1,72 @@
+"""The asymmetric-only universal variant (Section 4's remark).
+
+"A simplified algorithm working only for STICs with asymmetric nodes,
+which can be obtained from Algorithm UniversalRV by deleting the
+Procedure SymmRV in each phase, would indeed be polynomial in n and
+delta."
+
+Same phase skeleton as :func:`repro.core.universal.universal_rv`, with
+the SymmRV segment removed.  It meets for every non-symmetric STIC and
+runs forever on symmetric ones — the experiments use it to show where
+the exponential cost of UniversalRV actually comes from.
+"""
+
+from __future__ import annotations
+
+from repro.core.asymm_rv import asymm_rv
+from repro.core.combinators import run_segment
+from repro.core.pairing import pair, unpair
+from repro.core.profile import TUNED, Profile
+from repro.core.universal import UniversalOracle
+from repro.sim.actions import Perception
+from repro.sim.agent import AgentScript
+
+__all__ = ["asymm_only_rv", "make_asymm_only_algorithm", "asymm_only_round_budget"]
+
+
+def asymm_only_rv(
+    percept: Perception,
+    profile: Profile = TUNED,
+    oracle: UniversalOracle | None = None,
+) -> AgentScript:
+    """UniversalRV without SymmRV; phases decode pairs ``(n, delta)``.
+
+    Phase ``P`` assumes ``(n, delta_code) = f^-1(P)`` (the third
+    coordinate of the triple is unnecessary once ``d`` is gone) and
+    runs AsymmRV(n) for ``P(n) + delta`` rounds, backtracks, and pads
+    to ``2 (P(n) + delta)`` — exactly the asymmetric half of a
+    UniversalRV phase.
+    """
+    if profile.view_mode == "oracle" and oracle is None:
+        raise ValueError("profile uses oracle view mode but no oracle was given")
+    phase = 1
+    while True:
+        n, delta_code = unpair(phase)
+        delta = delta_code - 1
+        raw = oracle.raw_label(n) if profile.view_mode == "oracle" else None
+        budget = profile.asymm_bound(n) + delta
+        percept = yield from run_segment(
+            percept, asymm_rv(percept, profile.asymm_params(n), raw), budget
+        )
+        phase += 1
+
+
+def make_asymm_only_algorithm(profile: Profile = TUNED):
+    """Algorithm factory for the scheduler (mirrors UniversalRV's)."""
+
+    def algorithm(percept: Perception, oracle: UniversalOracle | None = None):
+        return asymm_only_rv(percept, profile, oracle)
+
+    return algorithm
+
+
+def asymm_only_round_budget(profile: Profile, n: int, delta: int) -> int:
+    """Rounds (from the later start) by which the variant must meet for
+    non-symmetric positions — polynomial in ``n`` and ``delta`` under
+    the tuned profile, which is the Section 4 observation."""
+    last = pair(n, delta + 1)
+    total = 0
+    for p in range(1, last + 1):
+        n_p, code_p = unpair(p)
+        total += 2 * (profile.asymm_bound(n_p) + (code_p - 1))
+    return total

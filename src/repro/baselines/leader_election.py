@@ -1,0 +1,98 @@
+"""Leader election from rendezvous — the Introduction's equivalence.
+
+Once two agents have met they can exchange their trajectories (the
+sequences of outgoing/incoming port numbers and waits).  The paper's
+argument: since the agents started at different nodes and are now
+together, walking the two trajectories backwards from the meeting node
+must reach a round where the agents' entries into the (still common)
+node differ — at the latest when one agent's trajectory runs out.  The
+first backward difference breaks the tie deterministically:
+
+* both moved in, by different ports  ->  larger entry port leads;
+* one moved in, one waited           ->  the mover leads;
+* one trajectory exhausted           ->  the earlier agent leads.
+
+If no difference is ever found the trajectories are identical *and*
+started at the same time — impossible for distinct starting nodes that
+met, which is exactly the paper's "there must be some node to which
+the agents entered by different ports".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.actions import Move
+from repro.sim.scheduler import RendezvousResult
+from repro.sim.trace import AgentTrace
+
+__all__ = ["Election", "elect_leader"]
+
+
+@dataclass(frozen=True)
+class Election:
+    """Outcome of the reduction.
+
+    ``leader`` is the agent index (0 = earlier agent, 1 = later);
+    ``decided_at`` the global round whose backward comparison broke
+    the tie; ``rule`` which tie-break fired.
+    """
+
+    leader: int
+    decided_at: int
+    rule: str
+
+
+def _move_index(trace: AgentTrace) -> dict[int, int]:
+    """Map global round -> entry port, for the trace's move rounds."""
+    return {
+        entry.time: entry.entry_port  # type: ignore[misc]
+        for entry in trace.entries
+        if isinstance(entry.action, Move)
+    }
+
+
+def _entry_at(
+    moves: dict[int, int], start_time: int, time: int
+) -> tuple[str, int | None]:
+    """What the agent did during global round ``time``.
+
+    Returns ``("move", entry_port)``, ``("wait", None)``, or
+    ``("absent", None)`` when the agent had not started yet.  Wait
+    blocks are expanded implicitly: a round not covered by any move
+    entry after the agent's start is a wait.
+    """
+    if time < start_time:
+        return ("absent", None)
+    if time in moves:
+        return ("move", moves[time])
+    return ("wait", None)
+
+
+def elect_leader(result: RendezvousResult) -> Election:
+    """Apply the reduction to a successful traced rendezvous run."""
+    if not result.met:
+        raise ValueError("leader election requires a successful rendezvous")
+    if result.traces is None:
+        raise ValueError("run the simulation with record_traces=True")
+    trace_a, trace_b = result.traces
+    assert result.meeting_time is not None
+    moves_a, moves_b = _move_index(trace_a), _move_index(trace_b)
+    for time in range(result.meeting_time - 1, -1, -1):
+        kind_a, port_a = _entry_at(moves_a, trace_a.start_time, time)
+        kind_b, port_b = _entry_at(moves_b, trace_b.start_time, time)
+        if kind_b == "absent":
+            # The later agent's trajectory is exhausted: the earlier
+            # agent has strictly more history and leads.
+            return Election(leader=0, decided_at=time, rule="earlier-start")
+        if kind_a == "move" and kind_b == "move":
+            if port_a != port_b:
+                leader = 0 if port_a > port_b else 1  # type: ignore[operator]
+                return Election(leader=leader, decided_at=time, rule="larger-port")
+        elif kind_a == "move" or kind_b == "move":
+            leader = 0 if kind_a == "move" else 1
+            return Election(leader=leader, decided_at=time, rule="mover")
+    raise AssertionError(
+        "identical trajectories with identical starts met at a node: "
+        "impossible for distinct starting nodes"
+    )

@@ -1,0 +1,97 @@
+"""Randomized rendezvous baseline (Section 5's closing remark).
+
+"The synchronous randomized counterpart of our problem is
+straightforward ... two random walks meet with high probability in
+time polynomial in the size of the graph [39]."
+
+We implement *lazy* independent random walks (stay with probability
+1/2, else a uniform port) — laziness removes the parity obstruction on
+bipartite graphs, where two non-lazy walks started at even distance
+with zero delay would never collide.  The walk loop is vectorized-free
+but tight (array lookups only), since benchmarks sweep many trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.util.lcg import SplitMix64, derive_seed
+
+__all__ = ["RandomWalkOutcome", "random_walk_rendezvous", "mean_meeting_time"]
+
+
+@dataclass(frozen=True)
+class RandomWalkOutcome:
+    """One randomized trial."""
+
+    met: bool
+    meeting_time: int | None  # global round
+    time_from_later: int | None
+
+
+def random_walk_rendezvous(
+    graph: PortLabeledGraph,
+    u: int,
+    v: int,
+    delta: int,
+    *,
+    seed: int,
+    max_rounds: int,
+    laziness: float = 0.5,
+) -> RandomWalkOutcome:
+    """Two independent lazy random walks from STIC ``[(u, v), delta]``.
+
+    Unlike the deterministic model, the two agents draw from
+    *independent* coin streams (derived from ``seed``) — this is
+    exactly the symmetry-breaking resource randomization buys.
+    """
+    if not (0.0 <= laziness < 1.0):
+        raise ValueError("laziness must be in [0, 1)")
+    rng_a = SplitMix64(derive_seed("rw-a", seed))
+    rng_b = SplitMix64(derive_seed("rw-b", seed))
+    succ = graph.succ_node_array
+    degrees = graph.degrees
+    pos_a, pos_b = u, v
+    for t in range(max_rounds):
+        if t >= delta and pos_a == pos_b:
+            return RandomWalkOutcome(True, t, t - delta)
+        if rng_a.random() >= laziness:
+            pos_a = int(succ[pos_a, rng_a.randrange(int(degrees[pos_a]))])
+        if t >= delta and rng_b.random() >= laziness:
+            pos_b = int(succ[pos_b, rng_b.randrange(int(degrees[pos_b]))])
+    if max_rounds >= delta and pos_a == pos_b:
+        return RandomWalkOutcome(True, max_rounds, max_rounds - delta)
+    return RandomWalkOutcome(False, None, None)
+
+
+def mean_meeting_time(
+    graph: PortLabeledGraph,
+    u: int,
+    v: int,
+    delta: int,
+    *,
+    trials: int,
+    seed: int = 0,
+    max_rounds: int | None = None,
+) -> tuple[float, int]:
+    """Average ``time_from_later`` over ``trials`` runs.
+
+    Returns ``(mean, failures)``; failed trials (no meeting within the
+    horizon, default ``64 * n^3``) are excluded from the mean and
+    counted separately.
+    """
+    horizon = max_rounds if max_rounds is not None else 64 * graph.n**3 + delta
+    total = 0
+    met = 0
+    failures = 0
+    for trial in range(trials):
+        outcome = random_walk_rendezvous(
+            graph, u, v, delta, seed=derive_seed(seed, trial), max_rounds=horizon
+        )
+        if outcome.met:
+            total += outcome.time_from_later  # type: ignore[operator]
+            met += 1
+        else:
+            failures += 1
+    return (total / met if met else float("inf")), failures

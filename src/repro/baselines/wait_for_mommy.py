@@ -1,0 +1,58 @@
+"""The "waiting for Mommy" baseline (Introduction).
+
+If leader election is already solved — roles assigned out of band —
+rendezvous reduces to exploration: the non-leader waits at its initial
+node and the leader explores the graph until it finds it.  This is the
+upper baseline every symmetric algorithm is compared against: it shows
+how cheap rendezvous becomes once symmetry is broken *for free*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.uxs import apply_uxs
+from repro.graphs.port_graph import PortLabeledGraph
+
+__all__ = ["MommyOutcome", "wait_for_mommy"]
+
+
+@dataclass(frozen=True)
+class MommyOutcome:
+    """Result of the leader-explores / non-leader-waits run."""
+
+    met: bool
+    meeting_time: int | None  # global round
+    time_from_later: int | None
+    leader_steps: int | None
+
+
+def wait_for_mommy(
+    graph: PortLabeledGraph,
+    leader: int,
+    waiter: int,
+    delta: int,
+    uxs,
+    *,
+    leader_is_earlier: bool = True,
+) -> MommyOutcome:
+    """Leader walks the UXS application from its node; waiter stays put.
+
+    ``delta`` delays the later of the two (per ``leader_is_earlier``).
+    The meeting time is exact: the first round at which the leader's
+    walk stands on the waiter's node while both agents are present.
+    """
+    walk = apply_uxs(graph, leader, uxs)
+    leader_start = 0 if leader_is_earlier else delta
+    waiter_start = delta if leader_is_earlier else 0
+    later_start = max(leader_start, waiter_start)
+    for step, node in enumerate(walk):
+        t = leader_start + step
+        if node == waiter and t >= waiter_start and t >= later_start:
+            return MommyOutcome(True, t, t - later_start, step)
+    # The leader idles at the walk's end; if it ended on the waiter's
+    # node before the waiter appeared, they meet at the wake-up round.
+    if walk[-1] == waiter:
+        t = max(leader_start + len(walk) - 1, waiter_start)
+        return MommyOutcome(True, t, t - later_start, len(walk) - 1)
+    return MommyOutcome(False, None, None, None)

@@ -1,0 +1,129 @@
+"""The paper's algorithms: UXS, Explore, SymmRV, AsymmRV, UniversalRV."""
+
+from repro.core.asymm_rv import (
+    make_asymm_algorithm,
+    AsymmParams,
+    asymm_meeting_bound,
+    asymm_rv,
+    finalize_label,
+    slot_rounds,
+    uxs_traverse_and_return,
+    word_slots,
+)
+from repro.core.bounds import (
+    symm_rv_time_bound,
+    universal_time_envelope,
+    walk_count_bound,
+)
+from repro.core.combinators import backtrack, bounded_run, run_segment
+from repro.core.dedicated import (
+    DedicatedPlan,
+    InfeasibleSTIC,
+    dedicated_rendezvous,
+    plan_dedicated,
+)
+from repro.core.explore import count_walks, explore, explore_round_count
+from repro.core.labels import (
+    encode_graph_view,
+    encode_view_tree,
+    hash_bits,
+    max_label_bits,
+    pad_bits,
+    reconstruct_view,
+    unpad_bits,
+    view_reconstruction_budget,
+)
+from repro.core.pairing import pair, triple, unpair, untriple
+from repro.core.profile import REFERENCE, TUNED, Profile, tuned_profile
+from repro.core.schedules import (
+    first_good_window,
+    good_window_bound,
+    schedule_word,
+    verify_schedule_pair,
+)
+from repro.core.stic import STIC, enumerate_stics, feasible_stics, infeasible_stics
+from repro.core.symm_rv import make_symm_rv_algorithm, symm_rv
+from repro.core.universal import (
+    CertificationError,
+    UniversalOracle,
+    certify_instance,
+    make_universal_algorithm,
+    phase_duration,
+    rendezvous,
+    universal_round_budget,
+    universal_rv,
+)
+from repro.core.uxs import (
+    apply_uxs,
+    minimal_verified_uxs,
+    apply_uxs_ports,
+    covers_from,
+    is_uxs_for_graph,
+    uxs_for_size,
+    uxs_length,
+)
+
+__all__ = [
+    "pair",
+    "unpair",
+    "triple",
+    "untriple",
+    "apply_uxs",
+    "apply_uxs_ports",
+    "uxs_for_size",
+    "uxs_length",
+    "covers_from",
+    "is_uxs_for_graph",
+    "minimal_verified_uxs",
+    "explore",
+    "count_walks",
+    "explore_round_count",
+    "symm_rv",
+    "make_symm_rv_algorithm",
+    "symm_rv_time_bound",
+    "walk_count_bound",
+    "universal_time_envelope",
+    "bounded_run",
+    "backtrack",
+    "run_segment",
+    "encode_graph_view",
+    "encode_view_tree",
+    "reconstruct_view",
+    "view_reconstruction_budget",
+    "max_label_bits",
+    "pad_bits",
+    "unpad_bits",
+    "hash_bits",
+    "schedule_word",
+    "verify_schedule_pair",
+    "good_window_bound",
+    "first_good_window",
+    "AsymmParams",
+    "asymm_rv",
+    "make_asymm_algorithm",
+    "asymm_meeting_bound",
+    "finalize_label",
+    "slot_rounds",
+    "word_slots",
+    "uxs_traverse_and_return",
+    "Profile",
+    "REFERENCE",
+    "TUNED",
+    "tuned_profile",
+    "STIC",
+    "enumerate_stics",
+    "feasible_stics",
+    "infeasible_stics",
+    "universal_rv",
+    "UniversalOracle",
+    "make_universal_algorithm",
+    "phase_duration",
+    "universal_round_budget",
+    "CertificationError",
+    "certify_instance",
+    "rendezvous",
+    "DedicatedPlan",
+    "InfeasibleSTIC",
+    "plan_dedicated",
+    "dedicated_rendezvous",
+]

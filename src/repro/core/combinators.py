@@ -1,0 +1,97 @@
+"""Combinators for composing agent subroutines under round budgets.
+
+Algorithm UniversalRV runs each sub-procedure for a *fixed* number of
+rounds (so that two agents — possibly desynchronized or at different
+positions — always spend identical time per phase segment), then
+backtracks whatever path was traversed and pads with waiting.  These
+combinators implement that pattern generically:
+
+* :func:`bounded_run` drives an inner script for exactly ``budget``
+  rounds (finishing early means waiting out the remainder), recording
+  the entry ports of every move so the caller can undo the walk;
+* :func:`backtrack` replays those entry ports in reverse, returning
+  the agent to where the inner script started.
+"""
+
+from __future__ import annotations
+
+from repro.sim.actions import Move, Perception, Wait, WaitBlock
+from repro.sim.agent import AgentScript, wait_rounds
+
+__all__ = ["bounded_run", "backtrack", "run_segment"]
+
+
+def bounded_run(percept: Perception, script: AgentScript, budget: int):
+    """Run ``script`` for exactly ``budget`` rounds.
+
+    Yields the script's actions (splitting a wait block that would
+    overshoot), records the entry port of every move, and abandons the
+    script when the budget is exhausted.  If the script finishes early
+    the remaining rounds are spent waiting in place.
+
+    Returns ``(percept, trail)`` where ``trail`` lists the entry ports
+    of the moves performed, in order (empty if the script only waited
+    or ended where it started *and* the caller does not need to undo —
+    callers that need to return home should :func:`backtrack` it).
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    trail: list[int] = []
+    used = 0
+    if budget == 0:
+        script.close()
+        return percept, trail
+    try:
+        action = next(script)
+    except StopIteration:
+        percept = yield from wait_rounds(percept, budget)
+        return percept, trail
+    while True:
+        if isinstance(action, Move):
+            percept = yield action
+            assert percept.entry_port is not None
+            trail.append(percept.entry_port)
+            used += 1
+        elif isinstance(action, Wait):
+            percept = yield action
+            used += 1
+        elif isinstance(action, WaitBlock):
+            span = min(action.rounds, budget - used)
+            if span > 0:
+                percept = yield WaitBlock(span)
+            used += span
+            if span < action.rounds:
+                break
+        else:
+            raise TypeError(f"inner script yielded {action!r}")
+        if used >= budget:
+            break
+        try:
+            action = script.send(percept)
+        except StopIteration:
+            percept = yield from wait_rounds(percept, budget - used)
+            used = budget
+            break
+    script.close()
+    return percept, trail
+
+
+def backtrack(percept: Perception, trail: list[int]) -> AgentScript:
+    """Undo a recorded walk: replay entry ports in reverse order."""
+    for port in reversed(trail):
+        percept = yield Move(port)
+    return percept
+
+
+def run_segment(percept: Perception, script: AgentScript, budget: int) -> AgentScript:
+    """Run ``script`` for ``budget`` rounds, undo the walk, pad waiting.
+
+    The whole segment takes exactly ``2 * budget`` rounds and ends at
+    the node where it started — the building block of UniversalRV's
+    phase structure (the paper's "execute for X rounds, backtrack,
+    wait until 2X rounds from the start").
+    """
+    percept, trail = yield from bounded_run(percept, script, budget)
+    percept = yield from backtrack(percept, trail)
+    percept = yield from wait_rounds(percept, budget - len(trail))
+    return percept

@@ -1,0 +1,125 @@
+"""Dedicated (instance-aware) rendezvous — the feasibility definition,
+made constructive.
+
+The paper defines feasibility existentially: "a STIC is feasible if
+there exists a deterministic algorithm, *even dedicated to this
+particular STIC*, which accomplishes rendezvous for it."  This module
+produces that witness: given a concrete STIC it returns the cheapest
+procedure of Section 3 with the right parameters baked in —
+``SymmRV(n, Shrink, delta)`` for symmetric positions,
+label-multiplexed ``AsymmRV`` for non-symmetric ones — or raises for
+infeasible STICs.  Dedicated algorithms are orders of magnitude
+cheaper than the knowledge-free UniversalRV, which is exactly the
+price Algorithm 3 pays for universality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.asymm_rv import asymm_meeting_bound, make_asymm_algorithm
+from repro.core.bounds import symm_rv_time_bound
+from repro.core.profile import TUNED, Profile
+from repro.core.symm_rv import make_symm_rv_algorithm
+from repro.core.universal import UniversalOracle, certify_instance
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.scheduler import RendezvousResult, run_rendezvous
+from repro.symmetry.feasibility import classify_stic
+
+__all__ = ["InfeasibleSTIC", "DedicatedPlan", "plan_dedicated", "dedicated_rendezvous"]
+
+
+class InfeasibleSTIC(ValueError):
+    """No deterministic algorithm exists for this STIC (Lemma 3.1)."""
+
+
+@dataclass(frozen=True)
+class DedicatedPlan:
+    """A dedicated algorithm with its guarantee.
+
+    Attributes
+    ----------
+    kind:
+        ``"symm"`` (Procedure SymmRV) or ``"asymm"`` (label-based
+        AsymmRV).
+    algorithm:
+        Scheduler-ready callable (pass ``oracles`` when
+        ``needs_oracles``).
+    bound:
+        Guaranteed meeting time from the later agent's start
+        (Lemma 3.3's ``T`` or our ``P(n)``).
+    needs_oracles:
+        Whether the scheduler must supply per-agent view oracles.
+    """
+
+    kind: str
+    algorithm: object
+    bound: int
+    needs_oracles: bool
+
+
+def plan_dedicated(
+    graph: PortLabeledGraph,
+    u: int,
+    v: int,
+    delta: int,
+    *,
+    profile: Profile = TUNED,
+) -> DedicatedPlan:
+    """Build the dedicated witness algorithm for ``[(u, v), delta]``.
+
+    Raises :class:`InfeasibleSTIC` when the characterization says no
+    algorithm exists.
+    """
+    certify_instance(graph, u, v, profile)
+    verdict = classify_stic(graph, u, v, delta)
+    if not verdict.feasible:
+        raise InfeasibleSTIC(verdict.reason)
+    n = graph.n
+    uxs = profile.uxs(n)
+    if verdict.symmetric:
+        d = verdict.shrink
+        assert d is not None
+        return DedicatedPlan(
+            kind="symm",
+            algorithm=make_symm_rv_algorithm(n, d, delta, uxs=uxs),
+            bound=symm_rv_time_bound(n, d, delta, len(uxs)),
+            needs_oracles=False,
+        )
+    params = profile.asymm_params(n)
+    use_oracle = profile.view_mode == "oracle"
+    return DedicatedPlan(
+        kind="asymm",
+        algorithm=make_asymm_algorithm(params, use_oracle=use_oracle),
+        bound=asymm_meeting_bound(params),
+        needs_oracles=use_oracle,
+    )
+
+
+def dedicated_rendezvous(
+    graph: PortLabeledGraph,
+    u: int,
+    v: int,
+    delta: int,
+    *,
+    profile: Profile = TUNED,
+    record_traces: bool = False,
+) -> RendezvousResult:
+    """Plan and run the dedicated algorithm on the STIC."""
+    plan = plan_dedicated(graph, u, v, delta, profile=profile)
+    oracles = None
+    if plan.needs_oracles:
+        oracles = (
+            UniversalOracle(graph, u, profile),
+            UniversalOracle(graph, v, profile),
+        )
+    return run_rendezvous(
+        graph,
+        u,
+        v,
+        delta,
+        plan.algorithm,
+        max_rounds=plan.bound + delta + 5,
+        record_traces=record_traces,
+        oracles=oracles,
+    )

@@ -1,0 +1,88 @@
+"""Procedure ``Explore(u, d, delta)`` — Algorithm 2 of the paper.
+
+The agent enumerates *all* walks of length ``d`` starting at its
+current node, in lexicographic order of their outgoing-port sequences.
+For each walk it: traverses the walk (``d`` rounds), traverses the
+reverse walk back (``d`` rounds), then waits ``delta - d`` rounds.
+Each iteration therefore takes exactly ``d + delta`` rounds, the
+quantity Lemma 3.2's alignment argument relies on.
+
+The agent does not know the graph; it discovers the degree profile of
+each walk while walking and advances an *odometer* over port sequences
+(increment the deepest digit that has room, reset the suffix to 0).
+Two agents at symmetric nodes see identical degree profiles, so they
+enumerate walks in lockstep — the heart of the paper's symmetry
+argument.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.actions import Move, Perception
+from repro.sim.agent import AgentScript, wait_rounds
+
+__all__ = ["explore", "explore_round_count", "count_walks"]
+
+
+def explore(percept: Perception, d: int, delta: int) -> AgentScript:
+    """Agent subroutine implementing ``Explore(u, d, delta)``.
+
+    Requires ``1 <= d <= delta`` (as in the paper's usage).  Starts and
+    ends at the same node; returns the final perception.
+    """
+    if d < 1:
+        raise ValueError(f"Explore needs d >= 1, got d={d}")
+    if delta < d:
+        raise ValueError(f"Explore needs delta >= d, got d={d}, delta={delta}")
+
+    # Odometer state: the next port sequence to traverse, plus the
+    # degree profile observed along the previous traversal.
+    # degrees[i] = degree of the node *before* step i of the walk.
+    ports = [0] * d
+    while True:
+        degrees = [0] * d
+        entry_ports = [0] * d
+        # Forward traversal.
+        for i in range(d):
+            degrees[i] = percept.degree
+            # A port chosen by the odometer is always valid: position i
+            # was either visited before with this prefix (so its degree
+            # bound was already accounted) or the digit is 0.
+            percept = yield Move(ports[i])
+            entry_ports[i] = percept.entry_port  # type: ignore[assignment]
+        # Reverse traversal (the paper's \bar{pi}).
+        for i in range(d - 1, -1, -1):
+            percept = yield Move(entry_ports[i])
+        # Wait the remaining delta - d rounds at the origin.
+        percept = yield from wait_rounds(percept, delta - d)
+        # Advance the odometer in lexicographic order.
+        level = d - 1
+        while level >= 0 and ports[level] + 1 >= degrees[level]:
+            level -= 1
+        if level < 0:
+            return percept
+        ports[level] += 1
+        for i in range(level + 1, d):
+            ports[i] = 0
+
+
+def count_walks(graph: PortLabeledGraph, u: int, d: int) -> int:
+    """Number of walks of length ``d`` starting at ``u``.
+
+    Computed by dynamic programming over walk endpoints; this is the
+    number of odometer iterations ``explore`` performs.
+    """
+    counts = {u: 1}
+    for _ in range(d):
+        nxt: dict[int, int] = {}
+        for node, c in counts.items():
+            for p in range(graph.degree(node)):
+                w = graph.succ(node, p)
+                nxt[w] = nxt.get(w, 0) + c
+        counts = nxt
+    return sum(counts.values())
+
+
+def explore_round_count(graph: PortLabeledGraph, u: int, d: int, delta: int) -> int:
+    """Exact number of rounds ``explore`` spends when run at ``u``."""
+    return count_walks(graph, u, d) * (d + delta)

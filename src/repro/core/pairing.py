@@ -1,0 +1,51 @@
+"""The pairing bijections f and g of Section 3.2.
+
+``f(x, y) = x + (x + y - 1)(x + y - 2) / 2`` is the Cantor pairing
+bijection from N x N to N (N = positive integers), and
+``g(x, y, z) = f(f(x, y), z)`` is the induced bijection from
+N x N x N to N.  Algorithm UniversalRV enumerates phases
+``P = 1, 2, ...`` and decodes each as ``(n, d, delta) = g^-1(P)``.
+"""
+
+from __future__ import annotations
+
+from math import isqrt
+
+__all__ = ["pair", "unpair", "triple", "untriple"]
+
+
+def pair(x: int, y: int) -> int:
+    """Cantor pairing ``f(x, y)`` on positive integers."""
+    if x < 1 or y < 1:
+        raise ValueError(f"f is defined on positive integers, got ({x}, {y})")
+    s = x + y
+    return x + (s - 1) * (s - 2) // 2
+
+
+def unpair(p: int) -> tuple[int, int]:
+    """Inverse ``f^-1(p)``; returns ``(x, y)`` with ``pair(x, y) == p``."""
+    if p < 1:
+        raise ValueError(f"f^-1 is defined on positive integers, got {p}")
+    # Find the diagonal s = x + y: the largest s with (s-1)(s-2)/2 < p.
+    # (s-1)(s-2)/2 < p  <=>  s^2 - 3s + 2 - 2p < 0, so s is near
+    # (3 + sqrt(1 + 8p)) / 2; adjust by a couple of steps to be exact.
+    s = (3 + isqrt(1 + 8 * p)) // 2
+    while (s - 1) * (s - 2) // 2 >= p:
+        s -= 1
+    while s * (s - 1) // 2 < p:
+        s += 1
+    x = p - (s - 1) * (s - 2) // 2
+    y = s - x
+    return x, y
+
+
+def triple(x: int, y: int, z: int) -> int:
+    """``g(x, y, z) = f(f(x, y), z)`` — bijection N^3 -> N."""
+    return pair(pair(x, y), z)
+
+
+def untriple(p: int) -> tuple[int, int, int]:
+    """Inverse ``g^-1(p)``; returns ``(x, y, z)``."""
+    w, z = unpair(p)
+    x, y = unpair(w)
+    return x, y, z

@@ -1,0 +1,92 @@
+"""Procedure ``SymmRV(n, d, delta)`` — Algorithm 1 of the paper.
+
+Follow the application ``R(u)`` of the UXS ``Y(n)`` at the agent's
+initial node, executing ``Explore(u_i, d, delta)`` at every node
+``u_i`` of ``R(u)``, then backtrack to the origin along the reverse of
+``R(u)``.
+
+Lemma 3.2: if the two agents start at symmetric nodes ``u, v`` of a
+graph of size ``n`` with delay ``delta >= d = Shrink(u, v)``, running
+this procedure (with correct parameters) guarantees rendezvous: at the
+first UXS index ``j`` where ``u_j`` / ``v_j`` realize the Shrink
+witness, the earlier agent walks the witness path of length ``d``
+while the later agent is inside its ``delta - d``-round wait.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.explore import explore
+from repro.core.uxs import uxs_for_size
+from repro.sim.actions import Move, Perception
+from repro.sim.agent import AgentScript, wait_forever
+
+__all__ = ["symm_rv", "make_symm_rv_algorithm"]
+
+
+def symm_rv(
+    percept: Perception,
+    n: int,
+    d: int,
+    delta: int,
+    *,
+    uxs: Sequence[int] | None = None,
+) -> AgentScript:
+    """Agent subroutine implementing ``SymmRV(n, d, delta)``.
+
+    Parameters mirror the paper: assumed graph size ``n``, assumed
+    ``d = Shrink`` value (``1 <= d < n``), assumed delay
+    ``delta >= d``.  ``uxs`` overrides ``Y(n)`` (tests use short
+    sequences to keep runs tiny); both agents must use the same value.
+
+    Starts and ends at the agent's current node; returns the final
+    perception there.
+    """
+    if not (1 <= d < n):
+        raise ValueError(f"need 1 <= d < n, got d={d}, n={n}")
+    if delta < d:
+        raise ValueError(f"need delta >= d, got delta={delta}, d={d}")
+    seq = tuple(uxs) if uxs is not None else uxs_for_size(n)
+
+    # Entry ports of the walk R(u), for the final backtrack.
+    back_ports: list[int] = []
+
+    # u_0 = u.
+    percept = yield from explore(percept, d, delta)
+    # u_1 = succ(u_0, 0).
+    percept = yield Move(0)
+    q = percept.entry_port
+    assert q is not None
+    back_ports.append(q)
+    percept = yield from explore(percept, d, delta)
+    # u_{i+1} = succ(u_i, (q + a_i) mod d(u_i)) for i = 1..M.
+    for a in seq:
+        port = (q + a) % percept.degree
+        percept = yield Move(port)
+        q = percept.entry_port
+        assert q is not None
+        back_ports.append(q)
+        percept = yield from explore(percept, d, delta)
+    # Go back to u_0 along the reverse of R(u).
+    for port in reversed(back_ports):
+        percept = yield Move(port)
+    return percept
+
+
+def make_symm_rv_algorithm(
+    n: int, d: int, delta: int, *, uxs: Sequence[int] | None = None
+):
+    """Algorithm factory: dedicated ``SymmRV`` with known parameters.
+
+    This is the Section 3.1 setting (Lemma 3.2): the size, the Shrink
+    value, and the delay are known to both agents.  The agent runs the
+    procedure once and then waits in place (the procedure's guarantee
+    is that the meeting happens *during* the run).
+    """
+
+    def algorithm(percept: Perception) -> AgentScript:
+        percept = yield from symm_rv(percept, n, d, delta, uxs=uxs)
+        yield from wait_forever(percept)
+
+    return algorithm

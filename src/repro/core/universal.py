@@ -1,0 +1,238 @@
+"""Algorithm ``UniversalRV`` — Algorithm 3 of the paper.
+
+The agent enumerates phases ``P = 1, 2, ...``; phase ``P`` decodes the
+assumption triple ``(n, d, delta) = g^-1(P)`` and, when ``d < n``:
+
+1. runs ``AsymmRV(n)`` for ``P(n) + delta`` rounds, backtracks, and
+   waits until ``2 (P(n) + delta)`` rounds from the segment start
+   (hoping the positions are non-symmetric);
+2. if ``delta >= d``, runs ``SymmRV(n, d, delta)`` under a
+   ``T(n, d, delta)`` round cap, backtracks, and waits until
+   ``2 T(n, d, delta)`` (hoping the positions are symmetric with
+   ``Shrink = d`` and delay ``delta``).
+
+Every segment has a duration that depends only on the *phase triple*
+and the shared profile, never on the graph or the agent's position, so
+the two agents enter every phase with their original delay — the
+invariant Theorem 3.1's proof rests on.  (Deviation from the paper's
+pseudocode: we cap SymmRV at ``T`` and pad to ``2T`` instead of
+running it to completion and padding to ``T``; in the decisive phase
+SymmRV completes within ``T`` by Lemma 3.3, and in wrong phases only
+the equal duration matters.  See DESIGN.md §2.)
+
+By Theorem 3.1 rendezvous is achieved for every feasible STIC with no
+a priori knowledge; by Lemma 3.1 infeasible STICs admit no algorithm
+at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.asymm_rv import asymm_rv
+from repro.core.combinators import run_segment
+from repro.core.labels import encode_graph_view
+from repro.core.pairing import triple, untriple
+from repro.core.profile import TUNED, Profile
+from repro.core.symm_rv import symm_rv
+from repro.core.uxs import is_uxs_for_graph
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.actions import Perception
+from repro.sim.agent import AgentScript
+from repro.sim.scheduler import RendezvousResult, run_rendezvous
+from repro.symmetry.feasibility import classify_stic
+
+__all__ = [
+    "universal_rv",
+    "UniversalOracle",
+    "make_universal_algorithm",
+    "phase_duration",
+    "universal_round_budget",
+    "CertificationError",
+    "certify_instance",
+    "rendezvous",
+]
+
+
+class CertificationError(RuntimeError):
+    """A tuned-profile shortcut failed its per-run validity check."""
+
+
+class UniversalOracle:
+    """Harness-side label oracle for one agent (oracle view mode).
+
+    Supplies, per assumed size ``n``, the canonical encoding of the
+    view from the agent's *own* starting node at the profile's depth —
+    exactly the value faithful reconstruction would compute, so using
+    it changes only simulation cost, not behaviour (tests cross-check
+    the two modes).
+    """
+
+    def __init__(self, graph: PortLabeledGraph, home: int, profile: Profile) -> None:
+        self._graph = graph
+        self._home = home
+        self._profile = profile
+        self._cache: dict[int, tuple[int, ...]] = {}
+
+    def raw_label(self, n: int) -> tuple[int, ...]:
+        depth = self._profile.view_depth(n)
+        if depth not in self._cache:
+            self._cache[depth] = encode_graph_view(self._graph, self._home, depth)
+        return self._cache[depth]
+
+
+def universal_rv(
+    percept: Perception,
+    profile: Profile = TUNED,
+    oracle: UniversalOracle | None = None,
+) -> AgentScript:
+    """Agent script for Algorithm UniversalRV (runs until rendezvous)."""
+    if profile.view_mode == "oracle" and oracle is None:
+        raise ValueError("profile uses oracle view mode but no oracle was given")
+    phase = 1
+    while True:
+        # g is a bijection on positive integers; delays are non-negative,
+        # so the third component encodes delta + 1.
+        n, d, delta_code = untriple(phase)
+        delta = delta_code - 1
+        if d < n:
+            raw = oracle.raw_label(n) if profile.view_mode == "oracle" else None
+            asymm_budget = profile.asymm_bound(n) + delta
+            percept = yield from run_segment(
+                percept,
+                asymm_rv(percept, profile.asymm_params(n), raw),
+                asymm_budget,
+            )
+            if delta >= d:
+                symm_budget = profile.symm_bound(n, d, delta)
+                percept = yield from run_segment(
+                    percept,
+                    symm_rv(percept, n, d, delta, uxs=profile.uxs(n)),
+                    symm_budget,
+                )
+        phase += 1
+
+
+def make_universal_algorithm(profile: Profile = TUNED):
+    """Algorithm factory for :func:`repro.sim.scheduler.run_rendezvous`.
+
+    With an oracle-mode profile the scheduler must be given per-agent
+    oracles (see :func:`rendezvous`, which wires everything up).
+    """
+
+    def algorithm(percept: Perception, oracle: UniversalOracle | None = None):
+        return universal_rv(percept, profile, oracle)
+
+    return algorithm
+
+
+def phase_duration(profile: Profile, phase: int) -> int:
+    """Exact duration in rounds of phase ``phase`` (0 when skipped)."""
+    n, d, delta_code = untriple(phase)
+    delta = delta_code - 1
+    if d >= n:
+        return 0
+    total = 2 * (profile.asymm_bound(n) + delta)
+    if delta >= d:
+        total += 2 * profile.symm_bound(n, d, delta)
+    return total
+
+
+def universal_round_budget(profile: Profile, n: int, d: int, delta: int) -> int:
+    """Rounds (from the later agent's start) by which UniversalRV must
+    have met, for a STIC whose decisive triple is ``(n, d, delta)``.
+
+    For non-symmetric positions the decisive triple is
+    ``(n, 1, actual delta)`` at worst (the first phase with the right
+    ``n`` and an assumed delay ``>= delta`` meets inside its AsymmRV
+    segment); for symmetric positions it is ``(n, Shrink, delta)``.
+    """
+    last = triple(n, d, delta + 1)
+    return sum(phase_duration(profile, p) for p in range(1, last + 1))
+
+
+def certify_instance(
+    graph: PortLabeledGraph, u: int, v: int, profile: Profile
+) -> None:
+    """Validate tuned-profile shortcuts on this instance.
+
+    * the profile's UXS for the actual size must cover the graph from
+      every node (needed by both SymmRV and the active slots of
+      AsymmRV in the decisive phase);
+    * with hashed labels, non-symmetric starting positions must hash
+      to different labels (a collision would void Proposition 3.1).
+
+    Raises :class:`CertificationError` with remediation advice.
+    """
+    n = graph.n
+    if not is_uxs_for_graph(graph, profile.uxs(n)):
+        raise CertificationError(
+            f"profile {profile.name!r}: exploration sequence for n={n} does "
+            "not cover this graph from every start; increase uxs_scale"
+        )
+    if profile.label_mode != "padded":
+        from repro.core.asymm_rv import finalize_label
+
+        params = profile.asymm_params(n)
+        oracle_u = UniversalOracle(graph, u, profile).raw_label(n)
+        oracle_v = UniversalOracle(graph, v, profile).raw_label(n)
+        if oracle_u != oracle_v and finalize_label(
+            oracle_u, params
+        ) == finalize_label(oracle_v, params):
+            raise CertificationError(
+                f"profile {profile.name!r}: hashed labels collide for "
+                "non-symmetric positions; use label_mode='hash32' or 'padded'"
+            )
+
+
+@dataclass(frozen=True)
+class _Prediction:
+    feasible: bool
+    decisive_d: int | None
+
+
+def rendezvous(
+    graph: PortLabeledGraph,
+    u: int,
+    v: int,
+    delta: int,
+    *,
+    profile: Profile = TUNED,
+    max_rounds: int | None = None,
+    record_traces: bool = False,
+) -> RendezvousResult:
+    """Run Algorithm UniversalRV on STIC ``[(u, v), delta]`` — the
+    library's front door.
+
+    Certifies the profile's shortcuts on the instance, sizes the round
+    budget from the feasibility characterization when ``max_rounds`` is
+    not given (infeasible STICs get a generous fixed horizon so the
+    caller can observe the non-meeting), and simulates both agents.
+    """
+    certify_instance(graph, u, v, profile)
+    verdict = classify_stic(graph, u, v, delta)
+    if max_rounds is None:
+        if verdict.feasible:
+            d = verdict.shrink if verdict.symmetric else 1
+            budget = universal_round_budget(profile, graph.n, d, delta)
+            max_rounds = delta + budget + 1
+        else:
+            max_rounds = delta + universal_round_budget(profile, graph.n, 1, delta)
+
+    algorithm = make_universal_algorithm(profile)
+    oracles = None
+    if profile.view_mode == "oracle":
+        oracles = (
+            UniversalOracle(graph, u, profile),
+            UniversalOracle(graph, v, profile),
+        )
+    return run_rendezvous(
+        graph,
+        u,
+        v,
+        delta,
+        algorithm,
+        max_rounds=max_rounds,
+        record_traces=record_traces,
+        oracles=oracles,
+    )

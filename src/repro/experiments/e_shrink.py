@@ -1,0 +1,110 @@
+"""TAB-SHRINK — the worked Shrink examples of Section 3.
+
+The paper gives two contrasting families right after Definition 3.1:
+
+* oriented torus: every pair symmetric and ``Shrink(u, v) = dist(u, v)``
+  (a common port sequence translates both agents rigidly);
+* symmetric tree (central edge + port-isomorphic halves): every mirror
+  pair has ``Shrink = 1`` however far apart ("Shrink can really shrink
+  the initial distance");
+
+plus the introduction's two-node graph where the delay-3 agents meet.
+We regenerate all three as a table, adding oriented rings, hypercubes
+and circulant complete graphs as further vertex-transitive checks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.records import ExperimentRecord
+from repro.graphs.families import (
+    complete_graph,
+    hypercube,
+    mirror_node,
+    oriented_ring,
+    oriented_torus,
+    symmetric_tree,
+    torus_node,
+    two_node_graph,
+)
+from repro.symmetry.shrink import shrink
+from repro.symmetry.views import are_symmetric
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    record = ExperimentRecord(
+        exp_id="TAB-SHRINK",
+        title="Shrink(u, v) on the paper's example families (Section 3)",
+        paper_claim=(
+            "On an oriented torus Shrink(u, v) = dist(u, v) for every "
+            "(symmetric) pair; on a symmetric tree Shrink of any mirror "
+            "pair is 1 at arbitrary distance."
+        ),
+        columns=["family", "pair", "symmetric", "dist", "Shrink", "expected"],
+    )
+    ok = True
+
+    def check(family: str, graph, u: int, v: int, expected: int) -> None:
+        nonlocal ok
+        symmetric = are_symmetric(graph, u, v)
+        dist = graph.distance(u, v)
+        value = shrink(graph, u, v)
+        ok = ok and symmetric and value == expected
+        record.add_row(
+            family=family,
+            pair=f"({u},{v})",
+            symmetric=symmetric,
+            dist=dist,
+            Shrink=value,
+            expected=expected,
+        )
+
+    # Two-node graph (introduction's delay example): Shrink = 1.
+    check("two-node", two_node_graph(), 0, 1, 1)
+
+    # Oriented tori: Shrink == distance for a spread of pairs.
+    sizes = [(3, 3), (4, 4)] if fast else [(3, 3), (4, 4), (5, 5), (4, 6)]
+    for rows, cols in sizes:
+        torus = oriented_torus(rows, cols)
+        for r, c in {(0, 1), (1, 1), (rows - 1, cols - 1), (rows // 2, cols // 2)}:
+            v = torus_node(r, c, cols)
+            if v == 0:
+                continue
+            check(f"torus {rows}x{cols}", torus, 0, v, torus.distance(0, v))
+
+    # Symmetric trees: mirror pairs have Shrink 1 at growing distance.
+    depths = (1, 2) if fast else (1, 2, 3)
+    for depth in depths:
+        tree = symmetric_tree(arity=2, depth=depth)
+        for u in (0, tree.n // 2 - 1):  # root and the deepest left leaf
+            check(
+                f"mirror tree depth {depth}",
+                tree,
+                u,
+                mirror_node(u, 2, depth),
+                1,
+            )
+
+    # Oriented rings: Shrink == ring distance (rigid rotation argument).
+    ring = oriented_ring(8)
+    for v in (1, 3, 4):
+        check("oriented ring n=8", ring, 0, v, ring.distance(0, v))
+
+    # Hypercube: Shrink == Hamming distance (XOR-translation argument).
+    cube = hypercube(3)
+    for v in (1, 3, 7):
+        check("hypercube d=3", cube, 0, v, cube.distance(0, v))
+
+    # Circulant complete graph: everything at distance 1, Shrink 1.
+    kn = complete_graph(5)
+    for v in (1, 2):
+        check("complete K5", kn, 0, v, 1)
+
+    record.passed = ok
+    record.measured_summary = (
+        "Shrink computed by product-graph BFS matches the paper's closed "
+        "forms on every family: distance-preserving on tori/rings/"
+        "hypercubes, collapsing to 1 on mirror trees and cliques"
+    )
+    return record

@@ -1,0 +1,136 @@
+"""Experiment result records and table rendering (text/Markdown/JSON).
+
+Every experiment driver returns an :class:`ExperimentRecord` — the
+paper's claim, the measured rows, and a pass/fail verdict — which the
+report generator assembles into EXPERIMENTS.md and the benchmark
+harness prints after each run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentRecord", "render_table"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced artifact (a figure, a worked example, a theorem).
+
+    Attributes
+    ----------
+    exp_id:
+        Identifier from DESIGN.md's per-experiment index (e.g.
+        ``"EXP-T41"``).
+    title:
+        Human-readable name.
+    paper_claim:
+        What the paper asserts, quoted or paraphrased.
+    columns / rows:
+        The regenerated table (rows are dicts keyed by column name).
+    measured_summary:
+        One-line summary of what was measured.
+    passed:
+        Whether the measurement agrees with the claim's *shape* (who
+        wins, growth rate, feasibility verdicts) — absolute constants
+        are not expected to match a theory paper.
+    notes:
+        Caveats (profile used, substitutions exercised).
+    art:
+        Optional text-art reproduction of a figure, rendered verbatim.
+    """
+
+    exp_id: str
+    title: str
+    paper_claim: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    measured_summary: str = ""
+    passed: bool = False
+    notes: str = ""
+    art: str = ""
+
+    def add_row(self, **values) -> None:
+        """Append a row; values are formatted at render time."""
+        self.rows.append(values)
+
+    def to_text(self) -> str:
+        """Render the record as a plain-text block."""
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"paper:    {self.paper_claim}",
+            f"measured: {self.measured_summary}",
+            f"verdict:  {'REPRODUCED' if self.passed else 'MISMATCH'}",
+        ]
+        if self.notes:
+            lines.append(f"notes:    {self.notes}")
+        lines.append(render_table(self.columns, self.rows))
+        if self.art:
+            lines.append("")
+            lines.append(self.art)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the record as a Markdown section for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.exp_id}: {self.title}",
+            "",
+            f"**Paper claim.** {self.paper_claim}",
+            "",
+            f"**Measured.** {self.measured_summary}",
+            "",
+            f"**Verdict.** {'reproduced' if self.passed else 'MISMATCH'}"
+            + (f" — {self.notes}" if self.notes else ""),
+            "",
+        ]
+        if self.rows:
+            lines.append("| " + " | ".join(self.columns) + " |")
+            lines.append("|" + "---|" * len(self.columns))
+            for row in self.rows:
+                lines.append(
+                    "| "
+                    + " | ".join(_fmt(row.get(c, "")) for c in self.columns)
+                    + " |"
+                )
+            lines.append("")
+        if self.art:
+            lines.append("```text")
+            lines.append(self.art)
+            lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable form (for archiving runs alongside the md)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "measured_summary": self.measured_summary,
+            "passed": self.passed,
+            "notes": self.notes,
+            "columns": list(self.columns),
+            "rows": [dict(r) for r in self.rows],
+        }
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(columns: list[str], rows: list[dict]) -> str:
+    """Fixed-width text table (for terminal output)."""
+    widths = {c: len(c) for c in columns}
+    rendered = [{c: _fmt(r.get(c, "")) for c in columns} for r in rows]
+    for row in rendered:
+        for c in columns:
+            widths[c] = max(widths[c], len(row[c]))
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(row[c].rjust(widths[c]) for c in columns) for row in rendered
+    ]
+    return "\n".join([header, sep, *body])

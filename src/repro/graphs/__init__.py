@@ -1,0 +1,49 @@
+"""Port-labeled anonymous graph substrate (model of Section 1)."""
+
+from repro.graphs.cayley import cayley_abelian, cayley_coords, cayley_node
+from repro.graphs.builders import (
+    from_adjacency,
+    from_edge_pairs,
+    from_networkx,
+    relabel_ports,
+)
+from repro.graphs.families import (
+    complete_graph,
+    hypercube,
+    labeled_ring,
+    mirror_node,
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    symmetric_tree,
+    torus_node,
+    two_node_graph,
+)
+from repro.graphs.port_graph import Edge, PortLabeledGraph
+from repro.graphs.random_graphs import random_connected_graph, random_tree
+
+__all__ = [
+    "PortLabeledGraph",
+    "Edge",
+    "from_adjacency",
+    "from_networkx",
+    "from_edge_pairs",
+    "relabel_ports",
+    "two_node_graph",
+    "path_graph",
+    "oriented_ring",
+    "labeled_ring",
+    "oriented_torus",
+    "torus_node",
+    "symmetric_tree",
+    "mirror_node",
+    "hypercube",
+    "complete_graph",
+    "star_graph",
+    "random_connected_graph",
+    "random_tree",
+    "cayley_abelian",
+    "cayley_node",
+    "cayley_coords",
+]

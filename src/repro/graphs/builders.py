@@ -1,0 +1,112 @@
+"""Constructors that turn ordinary graphs into port-labeled graphs.
+
+The paper's model needs every edge endpoint to carry a local port
+number.  For structured families (:mod:`repro.graphs.families`) the
+labeling is part of the construction; for arbitrary graphs these
+helpers assign ports deterministically (in neighbor order) or from an
+explicit specification.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.graphs.port_graph import Edge, PortLabeledGraph
+
+__all__ = [
+    "from_adjacency",
+    "from_networkx",
+    "from_edge_pairs",
+    "relabel_ports",
+]
+
+
+def from_adjacency(adjacency: Mapping[int, Iterable[int]] | list[list[int]]) -> PortLabeledGraph:
+    """Build a port-labeled graph from an adjacency structure.
+
+    Ports at each node are assigned ``0, 1, 2, ...`` following the
+    order in which neighbors are listed.  Both directions of an edge
+    must be present and consistent.
+    """
+    if isinstance(adjacency, list):
+        adjacency = {i: nbrs for i, nbrs in enumerate(adjacency)}
+    n = len(adjacency)
+    port_of: dict[tuple[int, int], int] = {}
+    for u in range(n):
+        nbrs = list(adjacency[u])
+        if len(set(nbrs)) != len(nbrs):
+            raise ValueError(f"duplicate neighbor in adjacency of node {u}")
+        for p, v in enumerate(nbrs):
+            port_of[(u, v)] = p
+    edges: list[Edge] = []
+    for (u, v), pu in port_of.items():
+        if u < v:
+            if (v, u) not in port_of:
+                raise ValueError(f"edge ({u},{v}) missing its reverse direction")
+            edges.append((u, pu, v, port_of[(v, u)]))
+    return PortLabeledGraph(n, edges)
+
+
+def from_networkx(graph) -> PortLabeledGraph:
+    """Build a port-labeled graph from a :class:`networkx.Graph`.
+
+    Nodes are relabeled to ``0..n-1`` in sorted order.  If an edge has
+    a ``ports`` attribute (``{u: p_u, v: p_v}``) it is honored;
+    otherwise ports are assigned in sorted-neighbor order.
+    """
+    nodes = sorted(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    explicit: dict[tuple[int, int], int] = {}
+    implicit_needed = False
+    for u, v, data in graph.edges(data=True):
+        ports = data.get("ports")
+        if ports is None:
+            implicit_needed = True
+        else:
+            explicit[(index[u], index[v])] = ports[u]
+            explicit[(index[v], index[u])] = ports[v]
+    if implicit_needed and explicit:
+        raise ValueError("either all edges or no edges may carry 'ports' attributes")
+    if explicit:
+        edges = [
+            (u, explicit[(u, v)], v, explicit[(v, u)])
+            for (u, v) in explicit
+            if u < v
+        ]
+        return PortLabeledGraph(len(nodes), edges)
+    adjacency = {
+        index[v]: [index[w] for w in sorted(graph.neighbors(v))] for v in nodes
+    }
+    return from_adjacency(adjacency)
+
+
+def from_edge_pairs(n: int, pairs: Iterable[tuple[int, int]]) -> PortLabeledGraph:
+    """Build from plain edge pairs, assigning ports in edge-list order.
+
+    Each node's ports number its incident edges in the order the edges
+    appear in ``pairs``.
+    """
+    next_port = [0] * n
+    edges: list[Edge] = []
+    for u, v in pairs:
+        edges.append((u, next_port[u], v, next_port[v]))
+        next_port[u] += 1
+        next_port[v] += 1
+    return PortLabeledGraph(n, edges)
+
+
+def relabel_ports(
+    graph: PortLabeledGraph, permutations: Mapping[int, Mapping[int, int]]
+) -> PortLabeledGraph:
+    """Return a copy with ports at selected nodes permuted.
+
+    ``permutations[v]`` maps old port -> new port at node ``v``.  Used
+    by tests and by the random-graph generator to produce distinct
+    labelings of the same underlying graph.
+    """
+    edges: list[Edge] = []
+    for u, pu, v, pv in graph.edges:
+        new_pu = permutations.get(u, {}).get(pu, pu)
+        new_pv = permutations.get(v, {}).get(pv, pv)
+        edges.append((u, new_pu, v, new_pv))
+    return PortLabeledGraph(graph.n, edges)

@@ -1,0 +1,112 @@
+"""Abelian Cayley graphs with translation-invariant port labelings.
+
+The paper's rigid examples (oriented rings, oriented tori, hypercubes)
+are all members of one family: Cayley graphs of abelian groups
+``Z_{m_1} x ... x Z_{m_k}`` whose ports are labeled by the generator
+used — the same label at every node.  Translations are then
+port-preserving automorphisms, so **every pair of nodes is symmetric**
+and, because applying a common port sequence translates both agents by
+the same group element, the pair's difference never changes:
+``Shrink(u, v) = dist(u, v)`` on the whole family (property-tested in
+the suite).  This generator turns that observation into a workload
+factory for symmetric-rendezvous experiments.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.graphs.port_graph import Edge, PortLabeledGraph
+
+__all__ = ["cayley_abelian", "cayley_node", "cayley_coords"]
+
+
+def cayley_node(coords: tuple[int, ...], moduli: tuple[int, ...]) -> int:
+    """Node id of a coordinate tuple (mixed-radix, first coordinate
+    most significant)."""
+    idx = 0
+    for c, m in zip(coords, moduli):
+        idx = idx * m + (c % m)
+    return idx
+
+
+def cayley_coords(node: int, moduli: tuple[int, ...]) -> tuple[int, ...]:
+    """Inverse of :func:`cayley_node`."""
+    out = []
+    for m in reversed(moduli):
+        out.append(node % m)
+        node //= m
+    return tuple(reversed(out))
+
+
+def cayley_abelian(
+    moduli: tuple[int, ...] | list[int],
+    generators: list[tuple[int, ...]],
+) -> PortLabeledGraph:
+    """Cayley graph of ``Z_{m_1} x ... x Z_{m_k}`` over ``generators``.
+
+    The connection set is the symmetric closure of ``generators``.
+    Port labeling (translation-invariant by construction):
+
+    * a generator ``g`` with ``g != -g`` contributes two ports at every
+      node — ``2i`` (step ``+g``) and ``2i + 1`` (step ``-g``) — paired
+      across each edge;
+    * an *involution* (``g == -g``, e.g. a hypercube dimension or the
+      antipode of an even ring) contributes the single self-paired
+      port ``2i``.
+
+    Ports are compacted to ``0..d-1`` preserving that order.  Raises if
+    the generators do not connect the group, if a generator is zero, or
+    if duplicates/inverse-duplicates would create parallel edges.
+    """
+    moduli = tuple(int(m) for m in moduli)
+    if not moduli or any(m < 2 for m in moduli):
+        raise ValueError("need at least one modulus, all >= 2")
+    gens = [tuple(int(x) % m for x, m in zip(g, moduli)) for g in generators]
+    if any(len(g) != len(moduli) for g in generators):
+        raise ValueError("generator arity must match the number of moduli")
+    if any(all(x == 0 for x in g) for g in gens):
+        raise ValueError("zero generator would create self-loops")
+
+    def neg(g: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple((-x) % m for x, m in zip(g, moduli))
+
+    seen: set[tuple[int, ...]] = set()
+    for g in gens:
+        if g in seen or neg(g) in seen:
+            raise ValueError(f"generator {g} duplicates another (or its inverse)")
+        seen.add(g)
+
+    # Assign slot ids, then compact.
+    slots: list[tuple[tuple[int, ...], int]] = []  # (step, raw slot)
+    for i, g in enumerate(gens):
+        slots.append((g, 2 * i))
+        if g != neg(g):
+            slots.append((neg(g), 2 * i + 1))
+    slots.sort(key=lambda sg: sg[1])
+    port_of_step = {step: port for port, (step, _raw) in enumerate(slots)}
+
+    n = 1
+    for m in moduli:
+        n *= m
+
+    def add(coords: tuple[int, ...], step: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple((c + s) % m for c, s, m in zip(coords, step, moduli))
+
+    edges: list[Edge] = []
+    emitted: set[tuple[int, int]] = set()
+    for coords in product(*(range(m) for m in moduli)):
+        u = cayley_node(coords, moduli)
+        for step, port in port_of_step.items():
+            w_coords = add(coords, step)
+            w = cayley_node(w_coords, moduli)
+            key = (min(u, w), max(u, w))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            if u == w:
+                raise ValueError(f"generator {step} is trivial on the group")
+            back = port_of_step[tuple((-s) % m for s, m in zip(step, moduli))]
+            edges.append((u, port, w, back))
+    graph = PortLabeledGraph(n, edges)
+    return graph

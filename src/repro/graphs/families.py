@@ -1,0 +1,224 @@
+"""Structured port-labeled graph families used throughout the paper.
+
+These are the workloads of the worked examples in Section 3 and the
+test/benchmark sweeps:
+
+* :func:`two_node_graph` — the delay-3 example of the introduction.
+* :func:`oriented_ring` — vertex-transitive ring (ports: 0 =
+  clockwise, 1 = counterclockwise); every pair of nodes is symmetric
+  and ``Shrink`` equals the ring distance.
+* :func:`oriented_torus` — the paper's example where
+  ``Shrink(u, v) = dist(u, v)`` for every pair.
+* :func:`symmetric_tree` — a central edge with port-preserving
+  isomorphic trees on both ends; the paper's example where ``Shrink``
+  is always 1 even at large initial distance.
+* :func:`hypercube` — dimension-labeled ports, vertex-transitive.
+* :func:`complete_graph` — circulant port labeling, vertex-transitive.
+* :func:`path_graph`, :func:`star_graph`, :func:`labeled_ring` —
+  families with *non-symmetric* positions for AsymmRV workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graphs.port_graph import Edge, PortLabeledGraph
+
+__all__ = [
+    "two_node_graph",
+    "path_graph",
+    "oriented_ring",
+    "labeled_ring",
+    "oriented_torus",
+    "torus_node",
+    "symmetric_tree",
+    "mirror_node",
+    "hypercube",
+    "complete_graph",
+    "star_graph",
+]
+
+
+def two_node_graph() -> PortLabeledGraph:
+    """The 2-node graph of the introduction's delay example."""
+    return PortLabeledGraph(2, [(0, 0, 1, 0)])
+
+
+def path_graph(n: int) -> PortLabeledGraph:
+    """Path ``0 - 1 - ... - n-1``.
+
+    Interior node ``i`` has port 0 toward ``i-1`` and port 1 toward
+    ``i+1``; endpoints have the single port 0.  For ``n >= 3`` the two
+    endpoints are *non-symmetric* (their views record different entry
+    ports at the first interior node), making paths a convenient
+    AsymmRV workload.
+    """
+    if n < 2:
+        raise ValueError("path needs at least 2 nodes")
+    edges: list[Edge] = []
+    for i in range(n - 1):
+        pu = 0 if i == 0 else 1
+        pv = 0
+        edges.append((i, pu, i + 1, pv))
+    return PortLabeledGraph(n, edges)
+
+
+def oriented_ring(n: int) -> PortLabeledGraph:
+    """Ring on ``n >= 3`` nodes; port 0 = clockwise, port 1 = counter.
+
+    Vertex-transitive with port-preserving rotations, so *all* pairs of
+    nodes are symmetric and ``Shrink(u, v)`` equals the ring distance.
+    """
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    edges: list[Edge] = [(i, 0, (i + 1) % n, 1) for i in range(n)]
+    return PortLabeledGraph(n, edges)
+
+
+def labeled_ring(port_pattern: Sequence[tuple[int, int]]) -> PortLabeledGraph:
+    """Ring with an explicit per-node port pattern.
+
+    ``port_pattern[i] = (p_cw, p_ccw)`` gives node ``i``'s port toward
+    its clockwise / counterclockwise neighbor.  Non-uniform patterns
+    yield rings with non-symmetric nodes.
+    """
+    n = len(port_pattern)
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    edges: list[Edge] = []
+    for i in range(n):
+        j = (i + 1) % n
+        edges.append((i, port_pattern[i][0], j, port_pattern[j][1]))
+    return PortLabeledGraph(n, edges)
+
+
+def torus_node(row: int, col: int, cols: int) -> int:
+    """Node id of cell ``(row, col)`` in an :func:`oriented_torus`."""
+    return row * cols + col
+
+
+def oriented_torus(rows: int, cols: int) -> PortLabeledGraph:
+    """Oriented ``rows x cols`` torus (both dimensions >= 3).
+
+    Ports are globally consistent compass directions:
+    0 = North, 1 = East, 2 = South, 3 = West, with N-S and E-W paired
+    across each edge.  All pairs of nodes are symmetric (translations
+    are port-preserving automorphisms) and, as the paper notes,
+    ``Shrink(u, v) = dist(u, v)``: applying one port sequence to both
+    agents translates them rigidly, so their offset never changes.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs both dimensions >= 3 to stay simple")
+    north, east, south, west = 0, 1, 2, 3
+    edges: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = torus_node(r, c, cols)
+            up = torus_node((r - 1) % rows, c, cols)
+            right = torus_node(r, (c + 1) % cols, cols)
+            edges.append((v, north, up, south))
+            edges.append((v, east, right, west))
+    return PortLabeledGraph(rows * cols, edges)
+
+
+def _subtree_size(arity: int, depth: int) -> int:
+    size = 0
+    width = 1
+    for _ in range(depth + 1):
+        size += width
+        width *= arity
+    return size
+
+
+def symmetric_tree(arity: int, depth: int) -> PortLabeledGraph:
+    """Two port-isomorphic complete ``arity``-ary trees joined at the roots.
+
+    This is the paper's Section 3 example of a *symmetric tree*: a
+    central edge whose two endpoints carry port-preserving isomorphic
+    trees.  Mirror nodes (see :func:`mirror_node`) are symmetric, and
+    ``Shrink`` of any mirror pair is 1 (walk both agents to their
+    respective roots; the roots are adjacent via the central edge).
+
+    Layout: nodes ``0 .. s-1`` form the left tree (BFS order, root 0),
+    nodes ``s .. 2s-1`` the right tree (root ``s``), where
+    ``s = _subtree_size(arity, depth)``.  At each root, port 0 is the
+    central edge and ports ``1..arity`` go to children; at internal
+    nodes port 0 leads to the parent and ports ``1..arity`` to
+    children; leaves have the single port 0 to the parent.
+    """
+    if arity < 1 or depth < 1:
+        raise ValueError("need arity >= 1 and depth >= 1")
+    s = _subtree_size(arity, depth)
+    edges: list[Edge] = []
+
+    def build(offset: int) -> None:
+        # BFS order: children of node with BFS index i are arity*i+1 .. arity*i+arity.
+        for i in range(s):
+            for c in range(arity):
+                child = arity * i + c + 1
+                if child >= s:
+                    break
+                edges.append((offset + i, c + 1, offset + child, 0))
+
+    build(0)
+    build(s)
+    edges.append((0, 0, s, 0))  # the central edge, port 0 at both roots
+    return PortLabeledGraph(2 * s, edges)
+
+
+def mirror_node(v: int, arity: int, depth: int) -> int:
+    """The mirror image of node ``v`` across the central edge of
+    :func:`symmetric_tree(arity, depth)`."""
+    s = _subtree_size(arity, depth)
+    return v + s if v < s else v - s
+
+
+def hypercube(dim: int) -> PortLabeledGraph:
+    """The ``dim``-dimensional hypercube; port ``i`` flips bit ``i``.
+
+    Vertex-transitive with port-preserving automorphisms (XOR
+    translations), so all pairs are symmetric; ``Shrink(u, v)`` equals
+    the Hamming distance (XOR offset is invariant under translations).
+    """
+    if dim < 1:
+        raise ValueError("hypercube needs dim >= 1")
+    n = 1 << dim
+    edges: list[Edge] = []
+    for v in range(n):
+        for i in range(dim):
+            w = v ^ (1 << i)
+            if v < w:
+                edges.append((v, i, w, i))
+    return PortLabeledGraph(n, edges)
+
+
+def complete_graph(n: int) -> PortLabeledGraph:
+    """Complete graph with the circulant port labeling.
+
+    Node ``i``'s port ``p`` leads to node ``(i + p + 1) mod n``; the
+    same edge has port ``n - 2 - p`` at the other end.  Rotations are
+    port-preserving automorphisms, so all pairs are symmetric with
+    ``Shrink = 1``.
+    """
+    if n < 2:
+        raise ValueError("complete graph needs n >= 2")
+    edges: list[Edge] = []
+    for i in range(n):
+        for p in range(n - 1):
+            j = (i + p + 1) % n
+            if i < j:
+                q = n - 2 - p
+                edges.append((i, p, j, q))
+    return PortLabeledGraph(n, edges)
+
+
+def star_graph(leaves: int) -> PortLabeledGraph:
+    """Star: center 0 joined to ``leaves`` leaf nodes ``1..leaves``.
+
+    Leaf ``i`` enters the center by port ``i-1``, so distinct leaves
+    have *different* views — a compact non-symmetric workload.
+    """
+    if leaves < 1:
+        raise ValueError("star needs at least 1 leaf")
+    edges: list[Edge] = [(0, i, i + 1, 0) for i in range(leaves)]
+    return PortLabeledGraph(leaves + 1, edges)

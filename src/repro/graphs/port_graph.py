@@ -1,0 +1,275 @@
+"""Port-labeled anonymous graphs — the navigation substrate of the paper.
+
+The model (Section 1 of the paper): a simple, finite, connected,
+undirected graph whose *nodes are unlabeled* but whose edge endpoints
+carry local *port numbers*: a node of degree ``d`` numbers its incident
+edges ``0 .. d-1``, with **no coherence** required between the two port
+numbers of one edge.
+
+Internally nodes are integers ``0 .. n-1``.  These integers are a
+simulator convenience only — algorithms in :mod:`repro.core` never see
+them; the :class:`repro.sim.agent.Agent` wrapper restricts agent
+perception to (degree, entry port), which is exactly what the model
+allows.
+
+The hot navigation primitives (``succ``, path application) are backed
+by dense numpy arrays so that simulations of millions of rounds stay
+cheap, per the profiling-first guidance of the HPC notes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PortLabeledGraph", "Edge"]
+
+#: An undirected port-labeled edge ``(u, port_at_u, v, port_at_v)``.
+Edge = tuple[int, int, int, int]
+
+
+class PortLabeledGraph:
+    """A simple connected undirected graph with local port labels.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, p_u, v, p_v)`` tuples meaning the edge
+        ``{u, v}`` has port ``p_u`` at ``u`` and port ``p_v`` at ``v``.
+    validate:
+        When true (default), check the port-labeling axioms: every node
+        of degree ``d`` uses ports ``0..d-1`` exactly once, the graph is
+        simple, and it is connected.
+
+    Notes
+    -----
+    Instances are immutable after construction.
+    """
+
+    __slots__ = (
+        "_n",
+        "_edges",
+        "_degrees",
+        "_succ_node",
+        "_succ_port",
+        "_max_degree",
+    )
+
+    def __init__(self, n: int, edges: Iterable[Edge], *, validate: bool = True) -> None:
+        if n <= 0:
+            raise ValueError(f"graph must have at least one node, got n={n}")
+        edge_list = [tuple(int(x) for x in e) for e in edges]
+        for e in edge_list:
+            if len(e) != 4:
+                raise ValueError(f"edge must be (u, p_u, v, p_v), got {e}")
+        self._n = n
+        self._edges: tuple[Edge, ...] = tuple(edge_list)  # type: ignore[assignment]
+
+        degrees = np.zeros(n, dtype=np.int64)
+        for u, _pu, v, _pv in self._edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge endpoint out of range in {(u, v)}")
+            if u == v:
+                raise ValueError(f"self-loop at node {u}: the model uses simple graphs")
+            degrees[u] += 1
+            degrees[v] += 1
+
+        max_degree = int(degrees.max()) if n > 0 else 0
+        # succ_node[v, p] = neighbor reached from v via port p (-1 if p >= deg(v)).
+        # succ_port[v, p] = the port of that same edge at the neighbor.
+        succ_node = np.full((n, max(max_degree, 1)), -1, dtype=np.int64)
+        succ_port = np.full((n, max(max_degree, 1)), -1, dtype=np.int64)
+        for u, pu, v, pv in self._edges:
+            for a, pa, b, pb in ((u, pu, v, pv), (v, pv, u, pu)):
+                if not (0 <= pa < degrees[a]):
+                    raise ValueError(
+                        f"port {pa} at node {a} out of range 0..{int(degrees[a]) - 1}"
+                    )
+                if succ_node[a, pa] != -1:
+                    raise ValueError(f"port {pa} at node {a} assigned twice")
+                succ_node[a, pa] = b
+                succ_port[a, pa] = pb
+
+        self._degrees = degrees
+        self._succ_node = succ_node
+        self._succ_port = succ_port
+        self._max_degree = max_degree
+
+        if validate:
+            self._validate_simple()
+            self._validate_connected()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes (the *size* of the graph, per the paper)."""
+        return self._n
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        """The port-labeled edge list this graph was built from."""
+        return self._edges
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum node degree."""
+        return self._max_degree
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only vector of node degrees (do not mutate)."""
+        return self._degrees
+
+    @property
+    def succ_node_array(self) -> np.ndarray:
+        """Dense ``(n, max_degree)`` successor-node table (-1 padded)."""
+        return self._succ_node
+
+    @property
+    def succ_port_array(self) -> np.ndarray:
+        """Dense ``(n, max_degree)`` entry-port table (-1 padded)."""
+        return self._succ_port
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return int(self._degrees[v])
+
+    def succ(self, v: int, p: int) -> int:
+        """Neighbor ``succ(v, p)`` reached from ``v`` via port ``p``.
+
+        This is exactly the paper's ``succ`` (Section 2).
+        """
+        if not (0 <= p < self._degrees[v]):
+            raise ValueError(f"port {p} invalid at node {v} of degree {self.degree(v)}")
+        return int(self._succ_node[v, p])
+
+    def entry_port(self, v: int, p: int) -> int:
+        """Port at ``succ(v, p)`` by which an agent leaving ``v`` enters it."""
+        if not (0 <= p < self._degrees[v]):
+            raise ValueError(f"port {p} invalid at node {v} of degree {self.degree(v)}")
+        return int(self._succ_port[v, p])
+
+    # ------------------------------------------------------------------
+    # Path machinery (Section 2 of the paper)
+    # ------------------------------------------------------------------
+    def apply_port_sequence(self, x: int, alpha: Sequence[int]) -> int:
+        """Return ``alpha(x)``: follow outgoing ports ``alpha`` from ``x``.
+
+        Raises if some port in the sequence is invalid at the node
+        reached at that point (the paper only applies sequences where
+        this cannot happen, e.g. between symmetric nodes).
+        """
+        node = x
+        for p in alpha:
+            node = self.succ(node, p)
+        return node
+
+    def walk(self, x: int, alpha: Sequence[int]) -> list[int]:
+        """Nodes visited following ``alpha`` from ``x`` (length ``len(alpha)+1``)."""
+        nodes = [x]
+        for p in alpha:
+            nodes.append(self.succ(nodes[-1], p))
+        return nodes
+
+    def reverse_ports(self, x: int, alpha: Sequence[int]) -> tuple[int, ...]:
+        """Outgoing ports of the *reverse path* of ``alpha`` started at ``x``.
+
+        If following ``alpha`` from ``x`` traverses nodes
+        ``x = u_0, ..., u_k`` then the result, applied at ``u_k``, walks
+        back ``u_k, ..., u_0`` (the paper's ``reverse path`` of
+        Section 2).
+        """
+        node = x
+        back: list[int] = []
+        for p in alpha:
+            back.append(self.entry_port(node, p))
+            node = self.succ(node, p)
+        back.reverse()
+        return tuple(back)
+
+    # ------------------------------------------------------------------
+    # Metrics and export
+    # ------------------------------------------------------------------
+    def distances_from(self, source: int) -> np.ndarray:
+        """BFS distances from ``source`` (vector of length ``n``)."""
+        dist = np.full(self._n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = [source]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for p in range(int(self._degrees[u])):
+                    w = int(self._succ_node[u, p])
+                    if dist[w] == -1:
+                        dist[w] = dist[u] + 1
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def distance(self, u: int, v: int) -> int:
+        """Shortest-path distance between ``u`` and ``v``."""
+        return int(self.distances_from(u)[v])
+
+    def neighbors(self, v: int) -> list[int]:
+        """Neighbors of ``v`` in port order."""
+        return [int(self._succ_node[v, p]) for p in range(self.degree(v))]
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.Graph` with ``port`` edge attrs.
+
+        Edge attribute ``ports`` is a dict ``{u: p_u, v: p_v}``.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        for u, pu, v, pv in self._edges:
+            g.add_edge(u, v, ports={u: pu, v: pv})
+        return g
+
+    def is_regular(self) -> bool:
+        """True when every node has the same degree."""
+        return bool((self._degrees == self._degrees[0]).all())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PortLabeledGraph(n={self._n}, m={len(self._edges)})"
+
+    def _canonical_edges(self) -> tuple[Edge, ...]:
+        """Edges with the lower-id endpoint first, sorted — the
+        orientation-insensitive identity used by ``__eq__``/``__hash__``."""
+        return tuple(
+            sorted(
+                (u, pu, v, pv) if u <= v else (v, pv, u, pu)
+                for u, pu, v, pv in self._edges
+            )
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortLabeledGraph):
+            return NotImplemented
+        return self._n == other._n and self._canonical_edges() == other._canonical_edges()
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._canonical_edges()))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_simple(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for u, _pu, v, _pv in self._edges:
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                raise ValueError(f"parallel edge {key}: the model uses simple graphs")
+            seen.add(key)
+
+    def _validate_connected(self) -> None:
+        if self._n == 1:
+            return
+        if int((self.distances_from(0) == -1).sum()) > 0:
+            raise ValueError("graph is not connected")

@@ -1,0 +1,85 @@
+"""Deterministic random port-labeled graph generation for test sweeps.
+
+Random connected graphs with random port permutations exercise the
+algorithms on unstructured inputs.  Everything is keyed by an explicit
+seed through :class:`repro.util.SplitMix64`, so test failures replay
+exactly.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.port_graph import Edge, PortLabeledGraph
+from repro.util.lcg import SplitMix64, derive_seed
+
+__all__ = ["random_connected_graph", "random_tree", "random_port_permutation"]
+
+
+def random_tree(n: int, seed: int) -> PortLabeledGraph:
+    """Uniformly-ish random labeled tree with random port labels.
+
+    Each node ``i >= 1`` attaches to a uniformly random earlier node
+    (a random recursive tree), then ports are randomly permuted at
+    every node via :func:`random_port_permutation`.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    rng = SplitMix64(derive_seed("random_tree", n, seed))
+    pairs = [(rng.randrange(i), i) for i in range(1, n)]
+    return _with_random_ports(n, pairs, rng)
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int) -> PortLabeledGraph:
+    """Random connected graph: random recursive tree + extra random edges.
+
+    ``extra_edges`` additional distinct non-tree edges are sampled
+    uniformly (skipping duplicates); ports are randomly permuted.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    rng = SplitMix64(derive_seed("random_graph", n, extra_edges, seed))
+    pairs = [(rng.randrange(i), i) for i in range(1, n)]
+    present = {(min(a, b), max(a, b)) for a, b in pairs}
+    max_extra = n * (n - 1) // 2 - len(present)
+    budget = min(extra_edges, max_extra)
+    attempts = 0
+    while budget > 0 and attempts < 100 * (budget + 1):
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        attempts += 1
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key in present:
+            continue
+        present.add(key)
+        pairs.append(key)
+        budget -= 1
+    return _with_random_ports(n, pairs, rng)
+
+
+def random_port_permutation(degree: int, rng: SplitMix64) -> list[int]:
+    """Fisher-Yates permutation of ``0..degree-1`` from the given stream."""
+    perm = list(range(degree))
+    for i in range(degree - 1, 0, -1):
+        j = rng.randrange(i + 1)
+        perm[i], perm[j] = perm[j], perm[i]
+    return perm
+
+
+def _with_random_ports(
+    n: int, pairs: list[tuple[int, int]], rng: SplitMix64
+) -> PortLabeledGraph:
+    degree = [0] * n
+    for a, b in pairs:
+        degree[a] += 1
+        degree[b] += 1
+    perms = [random_port_permutation(degree[v], rng) for v in range(n)]
+    counter = [0] * n
+    edges: list[Edge] = []
+    for a, b in pairs:
+        pa = perms[a][counter[a]]
+        pb = perms[b][counter[b]]
+        counter[a] += 1
+        counter[b] += 1
+        edges.append((a, pa, b, pb))
+    return PortLabeledGraph(n, edges)

@@ -1,0 +1,26 @@
+"""Section 4: the hard instance Q_h / Q-hat_h and Theorem 4.1."""
+
+from repro.hardness.batch import simulate_word_batch
+from repro.hardness.lower_bound import (
+    STAY,
+    OblivousOutcome,
+    dedicated_word,
+    midpoint_dichotomy,
+    simulate_word,
+    simulate_word_symbolic,
+    theoretical_bound,
+    worst_case_meeting_time,
+)
+from repro.hardness.qhat import build_qhat, qhat_size
+from repro.hardness.qtree import E, N, PORT_NAMES, S, W, QTree, build_qtree, opposite
+from repro.hardness.zset import ZMember, z_paths, z_set
+
+__all__ = [
+    "N", "E", "S", "W", "PORT_NAMES", "opposite",
+    "QTree", "build_qtree", "build_qhat", "qhat_size",
+    "ZMember", "z_set", "z_paths",
+    "STAY", "dedicated_word", "simulate_word", "simulate_word_symbolic",
+    "OblivousOutcome", "theoretical_bound", "midpoint_dichotomy",
+    "worst_case_meeting_time",
+    "simulate_word_batch",
+]

@@ -1,0 +1,64 @@
+"""Vectorized oblivious-word simulation over many STICs at once.
+
+The Theorem 4.1 sweeps run the *same* word from the root against every
+``v in Z`` — a classic batch workload.  Per the profiling-first HPC
+guidance, the scalar loop in :mod:`repro.hardness.lower_bound` is kept
+as the readable reference, and this module provides a numpy
+implementation that advances all later-agent positions simultaneously
+(one gather per round), typically one to two orders of magnitude
+faster on the 13k-node ``Q̂_8``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.hardness.lower_bound import STAY
+
+__all__ = ["simulate_word_batch"]
+
+
+def simulate_word_batch(
+    graph: PortLabeledGraph,
+    word: tuple[int, ...],
+    u: int,
+    starts: list[int],
+    delta: int,
+    max_rounds: int,
+) -> list[int | None]:
+    """Meeting times for STICs ``[(u, v), delta]`` for all ``v`` in
+    ``starts``, under one shared oblivious word (repeated forever).
+
+    Returns one global meeting round (or ``None``) per start, identical
+    to running :func:`repro.hardness.lower_bound.simulate_word` per
+    start — property-tested against it.
+    """
+    if not starts:
+        return []
+    succ = graph.succ_node_array
+    n_words = len(word)
+    pos_a = u  # scalar: the earlier agent is shared across the batch
+    pos_b = np.asarray(starts, dtype=np.int64)
+    met = np.full(len(starts), -1, dtype=np.int64)
+
+    for t in range(max_rounds):
+        if t >= delta:
+            hit = (met < 0) & (pos_b == pos_a)
+            met[hit] = t
+            if (met >= 0).all():
+                break
+        la = word[t % n_words]
+        if la != STAY:
+            pos_a = int(succ[pos_a, la])
+        if t >= delta:
+            lb = word[(t - delta) % n_words]
+            if lb != STAY:
+                live = met < 0
+                pos_b[live] = succ[pos_b[live], lb]
+    else:
+        # final boundary check, matching the scalar semantics
+        if max_rounds >= delta:
+            hit = (met < 0) & (pos_b == pos_a)
+            met[hit] = max_rounds
+    return [int(m) if m >= 0 else None for m in met]

@@ -1,0 +1,223 @@
+"""Theorem 4.1 — the exponential lower bound, reproduced executably.
+
+The theorem: any algorithm achieving rendezvous for every STIC
+``[(r, v), D]`` in ``Q̂_h`` (``D = 2k``, ``h = 2D``, ``v in Z``) needs
+time at least ``2^(k-1)``.
+
+Because ``Q̂_h`` is 4-regular, anonymous, and N-S/E-W port-consistent,
+*every* deterministic algorithm on it degenerates to an oblivious word
+over ``{stay, N, E, S, W}`` — conditionals have nothing to condition
+on.  That makes the theorem directly machine-checkable at small scale
+and measurable at large scale:
+
+* :func:`dedicated_word` constructs the natural *optimal-shape*
+  algorithm for the ``Z`` family (enumerate ``γ·γ`` excursions with
+  backtracking); its worst-case meeting time is ``THETA(k 2^k)``,
+  exhibiting the exponential growth the theorem forces.
+* :func:`simulate_word` / :func:`simulate_word_symbolic` run an
+  oblivious word from a STIC — on the concrete graph, or symbolically
+  on the infinite-ish tree (positions as reduced root paths, valid
+  while walks stay inside ``Q_h``, which the lower-bound argument
+  itself guarantees for horizons below the leaf distance).
+* :func:`midpoint_dichotomy` checks the proof's pivot on concrete
+  runs: before meeting, (at least) one of the agents passes through
+  the midpoint ``M(v)``.
+* :func:`theoretical_bound` is the paper's ``2^(k-1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.hardness.qtree import QTree, opposite
+from repro.hardness.zset import ZMember, z_paths
+
+__all__ = [
+    "STAY",
+    "dedicated_word",
+    "simulate_word",
+    "simulate_word_symbolic",
+    "OblivousOutcome",
+    "theoretical_bound",
+    "midpoint_dichotomy",
+    "worst_case_meeting_time",
+]
+
+#: The "stay put" letter of an oblivious algorithm word.
+STAY = -1
+
+
+def theoretical_bound(k: int) -> int:
+    """The paper's lower bound ``2^(k-1)`` on rendezvous time."""
+    return 2 ** (k - 1)
+
+
+def dedicated_word(k: int) -> tuple[int, ...]:
+    """The natural dedicated algorithm for the family ``{[(r, v), 2k]}``.
+
+    For each ``γ in {N, E}^k`` in lex order: walk ``γ·γ`` (out to the
+    candidate ``v``), then walk back reversing with opposite letters.
+    Each block has ``4k`` letters and starts/ends at the agent's home.
+
+    Alignment argument (mirrors Lemma 3.2's): with delay ``D = 2k``,
+    when the earlier agent's block for the true ``γ*`` reaches
+    ``v = γ*γ*(r)`` at block offset ``2k``, the later agent — exactly
+    half a block behind — is at offset 0 of a block, i.e. sitting at
+    its home ``v``.  Rendezvous is therefore achieved for every
+    ``v in Z`` within ``4k * 2^k`` rounds, while Theorem 4.1 shows no
+    algorithm can beat ``2^(k-1)``.
+    """
+    word: list[int] = []
+    for path in z_paths(k):
+        word.extend(path)
+        word.extend(opposite(p) for p in reversed(path))
+    return tuple(word)
+
+
+@dataclass(frozen=True)
+class OblivousOutcome:
+    """Result of running an oblivious word from one STIC."""
+
+    met: bool
+    meeting_time: int | None  # global round
+    time_from_later: int | None
+    visited_a: tuple[int, ...]  # positions per round (node or path key)
+    visited_b: tuple[int, ...]
+
+
+def _letters_at(word: tuple[int, ...], t: int) -> int:
+    """Word letter executed at local time ``t`` (word repeats forever)."""
+    return word[t % len(word)]
+
+
+def simulate_word(
+    graph: PortLabeledGraph,
+    word: tuple[int, ...],
+    u: int,
+    v: int,
+    delta: int,
+    max_rounds: int,
+) -> OblivousOutcome:
+    """Run the same oblivious word from ``u`` (round 0) and ``v``
+    (round ``delta``) on a concrete 4-regular graph."""
+    pos_a, pos_b = u, v
+    hist_a, hist_b = [u], [v]
+    for t in range(max_rounds):
+        if t >= delta and pos_a == pos_b:
+            return OblivousOutcome(True, t, t - delta, tuple(hist_a), tuple(hist_b))
+        la = _letters_at(word, t)
+        if la != STAY:
+            pos_a = graph.succ(pos_a, la)
+        if t >= delta:
+            lb = _letters_at(word, t - delta)
+            if lb != STAY:
+                pos_b = graph.succ(pos_b, lb)
+        hist_a.append(pos_a)
+        hist_b.append(pos_b)
+    met = max_rounds >= delta and pos_a == pos_b
+    return OblivousOutcome(
+        met,
+        max_rounds if met else None,
+        max_rounds - delta if met else None,
+        tuple(hist_a),
+        tuple(hist_b),
+    )
+
+
+def _step_path(path: tuple[int, ...], letter: int, h: int) -> tuple[int, ...]:
+    """Apply one letter to a reduced root path inside ``Q_h``.
+
+    Valid while the walk stays in the tree: at internal nodes every
+    letter is available (parent or child edge); at leaves only the
+    parent letter is — violations raise, which is itself a check that
+    the workload respects the tree-confinement premise of the proof.
+    """
+    if letter == STAY:
+        return path
+    if path and path[-1] == opposite(letter):
+        return path[:-1]
+    if len(path) >= h:
+        raise ValueError(
+            "walk tried to leave Q_h through a leaf's cycle port; "
+            "symbolic simulation only covers tree-confined horizons"
+        )
+    return path + (letter,)
+
+
+def simulate_word_symbolic(
+    h: int,
+    word: tuple[int, ...],
+    start_a: tuple[int, ...],
+    start_b: tuple[int, ...],
+    delta: int,
+    max_rounds: int,
+) -> OblivousOutcome:
+    """Run an oblivious word on ``Q_h`` *without materializing it*.
+
+    Positions are reduced port paths from the root (node identities in
+    a tree), enabling the lower-bound sweeps at heights whose node
+    count (``~3^h``) is far beyond what can be built.
+    """
+    pos_a, pos_b = tuple(start_a), tuple(start_b)
+    hist_a, hist_b = [pos_a], [pos_b]
+    for t in range(max_rounds):
+        if t >= delta and pos_a == pos_b:
+            return OblivousOutcome(True, t, t - delta, tuple(hist_a), tuple(hist_b))
+        la = _letters_at(word, t)
+        pos_a = _step_path(pos_a, la, h)
+        if t >= delta:
+            lb = _letters_at(word, t - delta)
+            pos_b = _step_path(pos_b, lb, h)
+        hist_a.append(pos_a)
+        hist_b.append(pos_b)
+    met = max_rounds >= delta and pos_a == pos_b
+    return OblivousOutcome(
+        met,
+        max_rounds if met else None,
+        max_rounds - delta if met else None,
+        tuple(hist_a),
+        tuple(hist_b),
+    )
+
+
+def worst_case_meeting_time(k: int, *, word: tuple[int, ...] | None = None) -> int:
+    """Max over ``v in Z`` of the dedicated word's rendezvous time.
+
+    Measured from the later agent's start, via symbolic simulation on
+    ``Q_h`` with ``h = 2D = 4k``.  This is the measured curve that
+    EXPERIMENTS.md compares against ``2^(k-1)``.
+    """
+    if word is None:
+        word = dedicated_word(k)
+    h = 4 * k
+    delta = 2 * k
+    horizon = len(word) + 8 * k + delta
+    worst = 0
+    for path in z_paths(k):
+        outcome = simulate_word_symbolic(h, word, (), path, delta, horizon)
+        if not outcome.met:
+            raise AssertionError(f"dedicated word failed to meet for v={path}")
+        worst = max(worst, outcome.time_from_later)  # type: ignore[arg-type]
+    return worst
+
+
+def midpoint_dichotomy(
+    tree: QTree,
+    member: ZMember,
+    outcome: OblivousOutcome,
+) -> tuple[bool, bool]:
+    """Check the proof's dichotomy on a concrete run.
+
+    Returns ``(a_visited_midpoint, b_visited_midpoint)`` restricted to
+    rounds up to the meeting; Theorem 4.1's argument implies at least
+    one of them is true for every successful run.
+    """
+    if not outcome.met:
+        raise ValueError("dichotomy is only defined for successful runs")
+    cut = outcome.meeting_time + 1
+    mid = member.midpoint
+    return (
+        mid in outcome.visited_a[:cut],
+        mid in outcome.visited_b[:cut],
+    )

@@ -1,0 +1,130 @@
+"""The tree ``Q_h`` of Section 4 (Fig. 1, left).
+
+``Q_h`` is the construction scaffold for the hard graph ``Q̂_h``: a
+rooted tree of height ``h`` in which every non-leaf node has degree 4
+with ports labeled by the cardinal directions N, S, E, W, every edge
+carries either ``N-S`` or ``E-W`` ports at its extremities, and all
+leaves sit at distance exactly ``h`` from the root.
+
+``Q_h`` itself is *not* a legal port-labeled graph of the model (its
+leaves have degree 1 but carry a letter port), so this module exposes
+it as an explicit data structure; :mod:`repro.hardness.qhat` adds the
+leaf cycles that make every node degree 4 and produces a legal
+:class:`~repro.graphs.port_graph.PortLabeledGraph`.
+
+Ports are represented by the integers ``N=0, E=1, S=2, W=3`` (the
+paper's letters, in compass order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["N", "E", "S", "W", "PORT_NAMES", "opposite", "QTree", "build_qtree"]
+
+N, E, S, W = 0, 1, 2, 3
+PORT_NAMES = ("N", "E", "S", "W")
+_OPPOSITE = {N: S, S: N, E: W, W: E}
+
+
+def opposite(port: int) -> int:
+    """The partner port across an edge (``N-S`` and ``E-W`` pairing)."""
+    return _OPPOSITE[port]
+
+
+@dataclass
+class QTree:
+    """The tree ``Q_h`` with letter-port annotations.
+
+    Attributes
+    ----------
+    h:
+        Height; all leaves are at distance ``h`` from the root.
+    root:
+        Node id of the root (always 0).
+    n:
+        Number of nodes.
+    parent:
+        ``parent[v] = (parent_node, port_at_parent, port_at_v)``;
+        ``None`` for the root.
+    children:
+        ``children[v][port] = child`` for each child edge, keyed by the
+        port at ``v``.
+    depth:
+        Distance from the root.
+    leaf_type:
+        For leaves only: the single letter port (``N/E/S/W`` int); the
+        paper's "A-type" classification.
+    leaves_by_type:
+        Leaves of each type in deterministic (DFS) order — the
+        ordering ``A_1 ... A_x`` used when wiring the cycles of
+        ``Q̂_h``.
+    """
+
+    h: int
+    root: int = 0
+    n: int = 0
+    parent: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+    depth: list = field(default_factory=list)
+    leaf_type: dict = field(default_factory=dict)
+    leaves_by_type: dict = field(default_factory=dict)
+
+    def is_leaf(self, v: int) -> bool:
+        return not self.children[v]
+
+    def follow(self, v: int, ports: list[int] | tuple[int, ...]) -> int:
+        """Follow outgoing letter ports from ``v`` through the tree."""
+        node = v
+        for p in ports:
+            if p in self.children[node]:
+                node = self.children[node][p]
+                continue
+            par = self.parent[node]
+            if par is not None and par[2] == p:
+                node = par[0]
+                continue
+            raise ValueError(f"port {PORT_NAMES[p]} not available at node {node}")
+        return node
+
+
+def build_qtree(h: int) -> QTree:
+    """Construct ``Q_h`` (``h >= 1``) iteratively (BFS).
+
+    The root has children through all four ports; an internal node
+    reached through port ``p`` at its parent carries the parent edge
+    on port ``opposite(p)`` and children on the remaining three ports;
+    nodes at depth ``h`` are leaves whose single port is
+    ``opposite(p)``.  Leaf counts: ``4 * 3^(h-1)`` total, ``3^(h-1)``
+    of each type.
+    """
+    if h < 1:
+        raise ValueError(f"Q_h needs h >= 1, got {h}")
+    tree = QTree(h=h)
+    tree.parent.append(None)
+    tree.children.append({})
+    tree.depth.append(0)
+    tree.n = 1
+    tree.leaves_by_type = {p: [] for p in (N, E, S, W)}
+
+    # frontier entries: (node, port_at_node_toward_parent or None)
+    frontier: list[tuple[int, int | None]] = [(0, None)]
+    for depth in range(1, h + 1):
+        next_frontier: list[tuple[int, int | None]] = []
+        for node, up_port in frontier:
+            out_ports = [p for p in (N, E, S, W) if p != up_port]
+            for p in out_ports:
+                child = tree.n
+                child_up = opposite(p)
+                tree.parent.append((node, p, child_up))
+                tree.children.append({})
+                tree.depth.append(depth)
+                tree.children[node][p] = child
+                tree.n += 1
+                if depth == h:
+                    tree.leaf_type[child] = child_up
+                    tree.leaves_by_type[child_up].append(child)
+                else:
+                    next_frontier.append((child, child_up))
+        frontier = next_frontier
+    return tree

@@ -1,0 +1,72 @@
+"""Text rendering of the Fig. 1 construction.
+
+Reproduces the *figure itself* (not just its properties): an indented
+drawing of the tree ``Q_h`` with letter ports, plus the lists of added
+leaf edges of ``Q̂_h`` (pairing edges and the four alternating
+cycles), matching the layout described in Section 4's bullet list.
+"""
+
+from __future__ import annotations
+
+from repro.hardness.qtree import PORT_NAMES, QTree, build_qtree
+from repro.hardness.qhat import build_qhat
+
+__all__ = ["render_qtree", "render_qhat_extras", "render_fig1"]
+
+
+def render_qtree(tree: QTree, *, max_nodes: int = 200) -> str:
+    """Indented drawing of ``Q_h``; children labeled by outgoing port."""
+    lines: list[str] = [f"Q_{tree.h} (root r, {tree.n} nodes)"]
+    count = 0
+
+    def walk(v: int, prefix: str, label: str) -> None:
+        nonlocal count
+        if count >= max_nodes:
+            return
+        count += 1
+        kind = "leaf" if tree.is_leaf(v) else "node"
+        suffix = ""
+        if tree.is_leaf(v):
+            suffix = f"  [{PORT_NAMES[tree.leaf_type[v]]}-type]"
+        lines.append(f"{prefix}{label}{kind} {v}{suffix}")
+        for port in sorted(tree.children[v]):
+            walk(
+                tree.children[v][port],
+                prefix + "    ",
+                f"--{PORT_NAMES[port]}--> ",
+            )
+
+    walk(tree.root, "", "")
+    if count >= max_nodes:
+        lines.append(f"... ({tree.n - count} more nodes elided)")
+    return "\n".join(lines)
+
+
+def render_qhat_extras(h: int) -> str:
+    """The edges Q̂_h adds between the leaves of Q_h, grouped as in the
+    paper's bullet list (Fig. 1, right)."""
+    graph, tree = build_qhat(h)
+    tree_edge_count = tree.n - 1
+    extras = graph.edges[tree_edge_count:]
+    x = 3 ** (h - 1)
+    pairing = extras[: 2 * x]
+    cycles = extras[2 * x :]
+    lines = [f"Q-hat_{h}: {len(extras)} added leaf edges"]
+    lines.append("pairing edges (N_i-S_i with ports S/N; E_i-W_i with W/E):")
+    for u, pu, v, pv in pairing:
+        lines.append(
+            f"  {u} --{PORT_NAMES[pu]}/{PORT_NAMES[pv]}-- {v}"
+        )
+    lines.append("alternating leaf cycles (4 cycles of length x = %d):" % x)
+    for i in range(4):
+        cycle = cycles[i * x : (i + 1) * x]
+        path = " - ".join(str(e[0]) for e in cycle) + f" - {cycle[0][0]}"
+        ports = f"{PORT_NAMES[cycle[0][1]]}/{PORT_NAMES[cycle[0][3]]}"
+        lines.append(f"  cycle {i + 1} (ports {ports}): {path}")
+    return "\n".join(lines)
+
+
+def render_fig1(h: int = 2) -> str:
+    """The complete Figure 1 analogue as text."""
+    tree = build_qtree(h)
+    return render_qtree(tree) + "\n\n" + render_qhat_extras(h)

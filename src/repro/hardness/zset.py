@@ -1,0 +1,61 @@
+"""The set ``Z`` and the midpoints ``M(v)`` of Section 4.
+
+For even ``D = 2k`` and ``h = 2D``, a node ``v`` of ``Q̂_h`` belongs
+to ``Z`` when ``v = (γ·γ)(r)`` for some ``γ in {N, E}^k`` (``·`` is
+concatenation, ``r`` the root).  ``|Z| = 2^k``, every ``v in Z`` is at
+distance ``D`` from ``r``, and ``M(v) = γ(r)`` is the *midpoint* the
+lower-bound argument revolves around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.hardness.qtree import E, N, QTree
+
+__all__ = ["ZMember", "z_set", "z_paths"]
+
+
+@dataclass(frozen=True)
+class ZMember:
+    """One element of ``Z``: the node, its ``γ``, and its midpoint."""
+
+    node: int
+    gamma: tuple[int, ...]
+    midpoint: int
+
+    @property
+    def path_from_root(self) -> tuple[int, ...]:
+        """The defining port word ``γ·γ``."""
+        return self.gamma + self.gamma
+
+
+def z_paths(k: int) -> list[tuple[int, ...]]:
+    """All defining words ``γ·γ`` with ``γ in {N, E}^k`` (lex order)."""
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    return [g + g for g in (tuple(c) for c in product((N, E), repeat=k))]
+
+
+def z_set(tree: QTree, k: int) -> list[ZMember]:
+    """Materialize ``Z`` on a concrete ``Q_h`` scaffold (``h >= 2k``).
+
+    Verifies the paper's counting claims: ``2^k`` distinct nodes, each
+    at depth ``D = 2k``.
+    """
+    if tree.h < 2 * k:
+        raise ValueError(f"need h >= 2k, got h={tree.h}, k={k}")
+    members = []
+    for gamma in product((N, E), repeat=k):
+        gamma = tuple(gamma)
+        mid = tree.follow(tree.root, gamma)
+        node = tree.follow(mid, gamma)
+        members.append(ZMember(node=node, gamma=gamma, midpoint=mid))
+    nodes = {m.node for m in members}
+    if len(nodes) != 2**k:
+        raise AssertionError("Z members are not distinct")
+    for m in members:
+        if tree.depth[m.node] != 2 * k:
+            raise AssertionError("Z member not at distance D from the root")
+    return members

@@ -1,0 +1,44 @@
+"""Synchronous anonymous-agent simulator (model of Section 1)."""
+
+from repro.sim.async_adversary import (
+    AsyncOutcome,
+    eager_adversary_run,
+    mirror_adversary_run,
+)
+from repro.sim.actions import Action, Move, Perception, Wait, WaitBlock
+from repro.sim.agent import (
+    AgentScript,
+    follow_ports,
+    move_once,
+    wait_forever,
+    wait_rounds,
+)
+from repro.sim.scheduler import (
+    RendezvousResult,
+    SimulationLimit,
+    run_rendezvous,
+    run_single_agent,
+)
+from repro.sim.trace import AgentTrace, TraceEntry
+
+__all__ = [
+    "Action",
+    "Move",
+    "Wait",
+    "WaitBlock",
+    "Perception",
+    "AgentScript",
+    "wait_rounds",
+    "wait_forever",
+    "move_once",
+    "follow_ports",
+    "RendezvousResult",
+    "SimulationLimit",
+    "run_rendezvous",
+    "run_single_agent",
+    "AgentTrace",
+    "TraceEntry",
+    "AsyncOutcome",
+    "mirror_adversary_run",
+    "eager_adversary_run",
+]

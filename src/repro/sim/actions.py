@@ -1,0 +1,73 @@
+"""Actions and perceptions exchanged between agents and the scheduler.
+
+The model (Section 1): in each round an agent either stays at its
+current node or moves through a chosen port; on arrival it perceives
+the degree of the node and the port by which it entered.  Agents never
+see node identities — :class:`Perception` is deliberately the *only*
+information channel from the simulator into agent code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Move", "Wait", "WaitBlock", "Action", "Perception"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """Leave the current node through ``port`` this round."""
+
+    port: int
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ValueError(f"port must be non-negative, got {self.port}")
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Stay at the current node this round."""
+
+
+@dataclass(frozen=True)
+class WaitBlock:
+    """Stay at the current node for ``rounds`` consecutive rounds.
+
+    Semantically identical to yielding :class:`Wait` ``rounds`` times;
+    the scheduler fast-forwards stretches in which *both* agents are
+    inside wait blocks (their positions are static, so no meeting can
+    occur), which is what makes the long deterministic padding waits of
+    Algorithm UniversalRV simulable.
+    """
+
+    rounds: int
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"WaitBlock needs rounds >= 1, got {self.rounds}")
+
+
+Action = Move | Wait | WaitBlock
+
+
+@dataclass(frozen=True)
+class Perception:
+    """What an agent knows about its current position.
+
+    Attributes
+    ----------
+    degree:
+        Degree of the current node.
+    entry_port:
+        Port by which the agent entered the current node on its most
+        recent move; ``None`` if it has not moved yet.  (Sticky across
+        waits: waiting does not erase the last entry port.)
+    clock:
+        Rounds elapsed since this agent's own starting round (the
+        agent's synchronized local clock; agents have no global clock).
+    """
+
+    degree: int
+    entry_port: int | None
+    clock: int

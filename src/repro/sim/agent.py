@@ -1,0 +1,78 @@
+"""Agent-program protocol and reusable movement subroutines.
+
+An *agent script* is a generator-valued function::
+
+    def my_algorithm(percept: Perception) -> AgentScript:
+        ...
+        percept = yield Move(0)      # move, receive new perception
+        percept = yield Wait()       # wait one round
+        ...
+
+The wake-up perception is the function argument; every ``yield`` of an
+:class:`~repro.sim.actions.Action` returns the perception of the next
+round.  Subroutines compose with ``yield from`` and *return* their
+final perception, so callers can keep reasoning about where they are::
+
+    percept = yield from wait_rounds(percept, 5)
+
+Because the only values flowing in are :class:`Perception` instances,
+agent code physically cannot depend on node identities — the anonymity
+of the model is enforced by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from typing import TypeAlias
+
+from repro.sim.actions import Action, Move, Perception, WaitBlock
+
+__all__ = [
+    "AgentScript",
+    "Algorithm",
+    "wait_rounds",
+    "wait_forever",
+    "follow_ports",
+    "move_once",
+]
+
+AgentScript: TypeAlias = Generator[Action, Perception, Perception]
+#: An algorithm maps the wake-up perception to a script.  Both agents
+#: of an instance run *the same* algorithm (the deterministic model).
+Algorithm: TypeAlias = "callable"
+
+
+def wait_rounds(percept: Perception, rounds: int) -> AgentScript:
+    """Wait in place for ``rounds`` rounds; returns the final perception.
+
+    Emits a single :class:`WaitBlock` so the scheduler can fast-forward
+    the stretch when the other agent is also waiting.
+    """
+    if rounds < 0:
+        raise ValueError(f"cannot wait a negative number of rounds: {rounds}")
+    if rounds > 0:
+        percept = yield WaitBlock(rounds)
+    return percept
+
+
+def wait_forever(percept: Perception) -> AgentScript:
+    """Wait in place forever (used once a procedure is complete)."""
+    while True:
+        percept = yield WaitBlock(1 << 30)
+
+
+def move_once(percept: Perception, port: int) -> AgentScript:
+    """Move through ``port``; raises inside the agent if invalid."""
+    if port >= percept.degree:
+        raise ValueError(
+            f"agent chose port {port} at a node of degree {percept.degree}"
+        )
+    percept = yield Move(port)
+    return percept
+
+
+def follow_ports(percept: Perception, ports: Sequence[int]) -> AgentScript:
+    """Traverse the outgoing-port sequence ``ports``, one move per round."""
+    for port in ports:
+        percept = yield from move_once(percept, port)
+    return percept

@@ -1,0 +1,319 @@
+"""The synchronous two-agent scheduler (the model of Section 1).
+
+Both agents run *the same deterministic algorithm*; the adversary
+chooses the starting nodes and the delay.  Time advances in global
+rounds ``t = 0, 1, 2, ...``; the earlier agent appears at round 0, the
+later at round ``delta``.  Rendezvous occurs when both agents occupy
+the same node at the same round; agents crossing inside an edge do
+*not* meet (crossings are recorded for diagnostics only).
+
+Rounds in which *both* agents sit inside declared wait blocks are
+fast-forwarded in O(1): positions are static, so no meeting can occur
+before the next action or the later agent's wake-up.  This keeps the
+enormous deterministic padding waits of Algorithm UniversalRV
+simulable while preserving exact round accounting.
+
+The reported ``time_from_later`` follows the paper's cost convention:
+the number of rounds between the appearance of the later agent and the
+meeting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.actions import Move, Perception, Wait, WaitBlock
+from repro.sim.agent import AgentScript
+from repro.sim.trace import AgentTrace, TraceEntry
+
+__all__ = ["RendezvousResult", "run_rendezvous", "run_single_agent", "SimulationLimit"]
+
+
+
+class SimulationLimit(Exception):
+    """Raised when a run exceeds its round budget (with ``raise_on_limit``)."""
+
+
+@dataclass(frozen=True)
+class RendezvousResult:
+    """Outcome of a two-agent simulation.
+
+    Attributes
+    ----------
+    met:
+        Whether the agents were ever at the same node in the same round.
+    meeting_node / meeting_time:
+        Where and at which global round the first meeting happened
+        (``None`` when they never met within the budget).
+    time_from_later:
+        Rounds between the later agent's start and the meeting — the
+        paper's measure of rendezvous time.
+    rounds_executed:
+        Global rounds simulated (equals ``meeting_time`` on success).
+    crossings:
+        Global rounds at which the agents swapped endpoints of one edge
+        (crossed without noticing).
+    traces:
+        Per-agent trajectories when tracing was enabled, else ``None``.
+    """
+
+    met: bool
+    meeting_node: int | None
+    meeting_time: int | None
+    time_from_later: int | None
+    rounds_executed: int
+    crossings: tuple[int, ...]
+    traces: tuple[AgentTrace, AgentTrace] | None
+
+
+class _AgentState:
+    __slots__ = (
+        "start_node",
+        "start_time",
+        "node",
+        "script",
+        "started",
+        "done",
+        "pending_wait",
+        "entry_port",
+        "trace",
+    )
+
+    def __init__(self, node: int, start_time: int, trace: AgentTrace | None) -> None:
+        self.start_node = node
+        self.start_time = start_time
+        self.node = node
+        self.script: AgentScript | None = None
+        self.started = False
+        self.done = False
+        self.pending_wait = 0
+        self.entry_port: int | None = None
+        self.trace = trace
+
+    def active(self, time: int) -> bool:
+        return time >= self.start_time
+
+    def percept(self, time: int, degree: int) -> Perception:
+        return Perception(
+            degree=degree, entry_port=self.entry_port, clock=time - self.start_time
+        )
+
+
+def run_rendezvous(
+    graph: PortLabeledGraph,
+    u: int,
+    v: int,
+    delta: int,
+    algorithm: Callable[[Perception], AgentScript],
+    *,
+    max_rounds: int,
+    record_traces: bool = False,
+    raise_on_limit: bool = False,
+    oracles: tuple | None = None,
+) -> RendezvousResult:
+    """Simulate two copies of ``algorithm`` from STIC ``[(u, v), delta]``.
+
+    Agent 0 starts at ``u`` in global round 0; agent 1 starts at ``v``
+    in global round ``delta``.  The simulation stops at the first
+    meeting or after ``max_rounds`` global rounds.
+
+    ``oracles`` optionally supplies one harness-side helper object per
+    agent, passed as a second argument to ``algorithm``; by convention
+    an oracle may expose only functions of that agent's own view (the
+    information the model lets an agent compute itself), keeping the
+    anonymity semantics intact.
+    """
+    if delta < 0:
+        raise ValueError(f"delay must be non-negative, got {delta}")
+    if max_rounds < 0:
+        raise ValueError("max_rounds must be non-negative")
+
+    agents = (
+        _AgentState(u, 0, AgentTrace(u, 0) if record_traces else None),
+        _AgentState(v, delta, AgentTrace(v, delta) if record_traces else None),
+    )
+    crossings: list[int] = []
+
+    def finish(time: int, met: bool) -> RendezvousResult:
+        node = agents[0].node if met else None
+        return RendezvousResult(
+            met=met,
+            meeting_node=node,
+            meeting_time=time if met else None,
+            time_from_later=(time - delta) if met else None,
+            rounds_executed=time,
+            crossings=tuple(crossings),
+            traces=(agents[0].trace, agents[1].trace) if record_traces else None,
+        )
+
+    def pull(agent: _AgentState, time: int) -> Move | None:
+        """Ensure the agent has a decision for this round.
+
+        Returns the move if the agent moves this round, else ``None``
+        (it waits; ``pending_wait`` has been charged).
+        """
+        if agent.done:
+            return None
+        if agent.pending_wait > 0:
+            return None
+        assert agent.script is not None
+        try:
+            if not agent.started:
+                agent.started = True
+                action = next(agent.script)
+            else:
+                action = agent.script.send(
+                    agent.percept(time, graph.degree(agent.node))
+                )
+        except StopIteration:
+            agent.done = True
+            return None
+        if agent.trace is not None:
+            entry = (
+                graph.entry_port(agent.node, action.port)
+                if isinstance(action, Move)
+                else None
+            )
+            agent.trace.entries.append(TraceEntry(time, agent.node, action, entry))
+        if isinstance(action, Move):
+            if action.port >= graph.degree(agent.node):
+                raise ValueError(
+                    f"agent chose port {action.port} at a node of degree "
+                    f"{graph.degree(agent.node)} (round {time})"
+                )
+            return action
+        if isinstance(action, Wait):
+            agent.pending_wait = 1
+            return None
+        if isinstance(action, WaitBlock):
+            agent.pending_wait = action.rounds
+            return None
+        raise TypeError(f"agent yielded {action!r}; expected Move/Wait/WaitBlock")
+
+    def meeting(time: int) -> bool:
+        return time >= delta and agents[0].node == agents[1].node
+
+    def instantiate(idx: int) -> AgentScript:
+        wake_percept = Perception(
+            degree=graph.degree(agents[idx].node), entry_port=None, clock=0
+        )
+        if oracles is None:
+            return algorithm(wake_percept)
+        return algorithm(wake_percept, oracles[idx])
+
+    # Wake agent 0 (and agent 1 when delta == 0).
+    for idx, agent in enumerate(agents):
+        if agent.start_time == 0:
+            agent.script = instantiate(idx)
+    if meeting(0):
+        return finish(0, True)
+
+    time = 0
+    while time < max_rounds:
+        moves: list[Move | None] = [None, None]
+        for idx, agent in enumerate(agents):
+            if agent.active(time):
+                moves[idx] = pull(agent, time)
+
+        if moves[0] is None and moves[1] is None:
+            # Pure waiting: fast-forward to the next event.
+            horizon = max_rounds - time
+            for agent in agents:
+                if agent.active(time) and not agent.done:
+                    horizon = min(horizon, agent.pending_wait)
+                elif not agent.active(time):
+                    horizon = min(horizon, agent.start_time - time)
+            skip = max(1, horizon)
+            for agent in agents:
+                if agent.active(time) and not agent.done:
+                    agent.pending_wait -= skip
+                    if agent.pending_wait < 0:  # pragma: no cover - defensive
+                        raise AssertionError("wait accounting underflow")
+            time += skip
+        else:
+            # A real round: apply moves simultaneously.
+            a_move, b_move = moves
+            if a_move is not None and b_move is not None:
+                a_to = graph.succ(agents[0].node, a_move.port)
+                b_to = graph.succ(agents[1].node, b_move.port)
+                if (
+                    a_to == agents[1].node
+                    and b_to == agents[0].node
+                    and agents[0].node != agents[1].node
+                ):
+                    crossings.append(time)
+            for idx, agent in enumerate(agents):
+                if not agent.active(time):
+                    continue
+                move = moves[idx]
+                if move is not None:
+                    entry = graph.entry_port(agent.node, move.port)
+                    agent.node = graph.succ(agent.node, move.port)
+                    agent.entry_port = entry
+                elif not agent.done:
+                    agent.pending_wait -= 1
+            time += 1
+
+        if not agents[1].started and agents[1].script is None and time >= delta:
+            # The later agent appears (exactly at `delta`; fast-forward
+            # never jumps past it because of the horizon clamp).
+            assert time == delta, "scheduler overshot the later agent's wake-up"
+            agents[1].script = instantiate(1)
+        if meeting(time):
+            return finish(time, True)
+
+    if raise_on_limit:
+        raise SimulationLimit(f"no rendezvous within {max_rounds} rounds")
+    return finish(max_rounds, False)
+
+
+def run_single_agent(
+    graph: PortLabeledGraph,
+    start: int,
+    algorithm: Callable[[Perception], AgentScript],
+    *,
+    max_rounds: int,
+) -> tuple[list[int], int]:
+    """Run one agent alone; returns (positions per round, final node).
+
+    Used by tests to validate procedures in isolation (e.g. that
+    ``Explore`` backtracks home, or that a UXS application covers the
+    graph).  The positions list has one entry per round boundary,
+    starting with ``start``; wait blocks contribute one (repeated)
+    entry per round, truncated at ``max_rounds``.
+    """
+    percept = Perception(degree=graph.degree(start), entry_port=None, clock=0)
+    script = algorithm(percept)
+    node = start
+    entry: int | None = None
+    visited = [node]
+    clock = 0
+    try:
+        action = next(script)
+    except StopIteration:
+        return visited, node
+    while clock < max_rounds:
+        if isinstance(action, Move):
+            if action.port >= graph.degree(node):
+                raise ValueError(
+                    f"agent chose port {action.port} at degree {graph.degree(node)}"
+                )
+            entry = graph.entry_port(node, action.port)
+            node = graph.succ(node, action.port)
+            visited.append(node)
+            clock += 1
+        elif isinstance(action, (Wait, WaitBlock)):
+            span = 1 if isinstance(action, Wait) else action.rounds
+            span = min(span, max_rounds - clock)
+            visited.extend([node] * span)
+            clock += span
+        else:
+            raise TypeError(f"agent yielded {action!r}; expected Move/Wait/WaitBlock")
+        percept = Perception(degree=graph.degree(node), entry_port=entry, clock=clock)
+        try:
+            action = script.send(percept)
+        except StopIteration:
+            break
+    return visited, node

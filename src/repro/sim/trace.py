@@ -1,0 +1,56 @@
+"""Execution traces: per-round records of agent positions and actions.
+
+Traces serve three purposes: debugging, the leader-election reduction
+of the introduction (agents compare *trajectories coded as sequences
+of encountered port numbers*), and experiment reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.actions import Action, Move
+
+__all__ = ["TraceEntry", "AgentTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One round of one agent's life.
+
+    ``time`` is the global round index; ``node`` the position at the
+    *start* of the round; ``action`` what the agent did during the
+    round; ``entry_port`` the port by which the action's move entered
+    its destination (``None`` for waits).
+    """
+
+    time: int
+    node: int
+    action: Action
+    entry_port: int | None
+
+
+@dataclass
+class AgentTrace:
+    """Complete trajectory of one agent."""
+
+    start_node: int
+    start_time: int
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def port_history(self) -> list[tuple[int, int]]:
+        """The trajectory coded as ``(out_port, in_port)`` pairs.
+
+        This is the introduction's "trajectory coded as sequences of
+        encountered port numbers", the input of the leader-election
+        reduction.  Waits are skipped (they carry no port information).
+        """
+        return [
+            (entry.action.port, entry.entry_port)  # type: ignore[union-attr]
+            for entry in self.entries
+            if isinstance(entry.action, Move)
+        ]
+
+    def nodes_visited(self) -> list[int]:
+        """Positions at the start of each recorded round."""
+        return [entry.node for entry in self.entries]

@@ -1,0 +1,39 @@
+"""Views, symmetry, Shrink, and STIC feasibility (Sections 2-3)."""
+
+from repro.symmetry.feasibility import FeasibilityVerdict, classify_stic, is_feasible
+from repro.symmetry.shrink import all_pairs_distances, shrink, shrink_witness
+from repro.symmetry.structure import (
+    DelayProfile,
+    delay_profile,
+    min_universal_delay,
+    shrink_matrix,
+    symmetry_orbits,
+)
+from repro.symmetry.views import (
+    are_symmetric,
+    symmetric_pairs,
+    truncated_view,
+    view_class_of,
+    view_classes,
+    view_signature,
+)
+
+__all__ = [
+    "truncated_view",
+    "view_classes",
+    "view_class_of",
+    "are_symmetric",
+    "symmetric_pairs",
+    "view_signature",
+    "shrink",
+    "shrink_matrix",
+    "symmetry_orbits",
+    "DelayProfile",
+    "delay_profile",
+    "min_universal_delay",
+    "shrink_witness",
+    "all_pairs_distances",
+    "FeasibilityVerdict",
+    "classify_stic",
+    "is_feasible",
+]

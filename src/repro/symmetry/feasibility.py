@@ -1,0 +1,84 @@
+"""Feasibility of space-time initial configurations (Corollary 3.1).
+
+A STIC ``[(u, v), delta]`` is feasible iff
+
+* ``u`` and ``v`` are non-symmetric (any delay works), or
+* ``u`` and ``v`` are symmetric and ``delta >= Shrink(u, v)``.
+
+(The degenerate ``u == v`` case is excluded by the model: agents start
+at *different* nodes.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.symmetry.shrink import shrink
+from repro.symmetry.views import are_symmetric
+
+__all__ = ["FeasibilityVerdict", "classify_stic", "is_feasible"]
+
+
+@dataclass(frozen=True)
+class FeasibilityVerdict:
+    """Outcome of the feasibility characterization for one STIC.
+
+    Attributes
+    ----------
+    feasible:
+        Whether a (possibly dedicated) deterministic algorithm can
+        achieve rendezvous for this STIC.
+    symmetric:
+        Whether the initial positions have equal views.
+    shrink:
+        ``Shrink(u, v)`` when the positions are symmetric, else ``None``
+        (the quantity only enters the characterization in the symmetric
+        case).
+    reason:
+        Human-readable justification quoting the relevant result.
+    """
+
+    feasible: bool
+    symmetric: bool
+    shrink: int | None
+    reason: str
+
+
+def classify_stic(
+    graph: PortLabeledGraph, u: int, v: int, delta: int
+) -> FeasibilityVerdict:
+    """Apply the characterization of Corollary 3.1 to ``[(u, v), delta]``."""
+    if delta < 0:
+        raise ValueError(f"delay must be non-negative, got {delta}")
+    if u == v:
+        raise ValueError("the model requires distinct initial nodes")
+    if not are_symmetric(graph, u, v):
+        return FeasibilityVerdict(
+            feasible=True,
+            symmetric=False,
+            shrink=None,
+            reason="non-symmetric initial positions: feasible for every "
+            "delay (Proposition 3.1 / [20])",
+        )
+    s = shrink(graph, u, v)
+    if delta >= s:
+        return FeasibilityVerdict(
+            feasible=True,
+            symmetric=True,
+            shrink=s,
+            reason=f"symmetric positions with delta={delta} >= "
+            f"Shrink={s}: feasible (Lemma 3.2)",
+        )
+    return FeasibilityVerdict(
+        feasible=False,
+        symmetric=True,
+        shrink=s,
+        reason=f"symmetric positions with delta={delta} < Shrink={s}: "
+        "infeasible (Lemma 3.1)",
+    )
+
+
+def is_feasible(graph: PortLabeledGraph, u: int, v: int, delta: int) -> bool:
+    """Shorthand for ``classify_stic(...).feasible``."""
+    return classify_stic(graph, u, v, delta).feasible

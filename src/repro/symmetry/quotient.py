@@ -1,0 +1,136 @@
+"""Quotient graphs and port-preserving automorphisms.
+
+Two companions to the view machinery of Section 2:
+
+* :func:`quotient_graph` — the graph of view classes.  Merging nodes
+  with equal views yields the *minimum base* of the graph's universal
+  cover (Yamashita–Kameda); anonymous agents are exactly as powerful
+  on a graph as on its quotient, which makes the quotient the right
+  object for reasoning about what symmetry an adversary can exploit.
+* :func:`port_automorphisms` — all port-preserving automorphisms of a
+  small graph.  An automorphism mapping ``u`` to ``v`` certifies
+  ``V(u) = V(v)`` constructively (the converse does not hold in
+  general, which :mod:`tests.symmetry.test_quotient` demonstrates —
+  views can coincide without any global automorphism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.symmetry.views import view_classes
+
+__all__ = ["QuotientGraph", "quotient_graph", "port_automorphisms"]
+
+
+@dataclass(frozen=True)
+class QuotientGraph:
+    """The view-class quotient of a port-labeled graph.
+
+    Attributes
+    ----------
+    classes:
+        Number of view classes (quotient nodes ``0..classes-1``).
+    color_of:
+        Map from original node to its class.
+    degree_of:
+        Degree of (every member of) each class.
+    transitions:
+        ``transitions[c][p] = (entry_port, target_class)``: leaving any
+        node of class ``c`` by port ``p`` enters a node of the target
+        class by ``entry_port``.  Well-defined because equal views agree
+        on all outgoing edges — verified during construction.
+    """
+
+    classes: int
+    color_of: tuple[int, ...]
+    degree_of: tuple[int, ...]
+    transitions: tuple[tuple[tuple[int, int], ...], ...]
+
+    def is_trivial(self) -> bool:
+        """True when the graph has no symmetry (quotient == graph)."""
+        return self.classes == len(self.color_of)
+
+
+def quotient_graph(graph: PortLabeledGraph) -> QuotientGraph:
+    """Compute the view-class quotient (see :class:`QuotientGraph`)."""
+    colors = view_classes(graph)
+    classes = max(colors) + 1
+    representative = [-1] * classes
+    for v, c in enumerate(colors):
+        if representative[c] == -1:
+            representative[c] = v
+
+    degree_of = []
+    transitions = []
+    for c in range(classes):
+        rep = representative[c]
+        d = graph.degree(rep)
+        degree_of.append(d)
+        row = tuple(
+            (graph.entry_port(rep, p), colors[graph.succ(rep, p)])
+            for p in range(d)
+        )
+        transitions.append(row)
+
+    # Well-definedness check: every member of a class must induce the
+    # same transition row (this is exactly view equality at depth 1,
+    # so a failure would mean view_classes is broken).
+    for v, c in enumerate(colors):
+        row = tuple(
+            (graph.entry_port(v, p), colors[graph.succ(v, p)])
+            for p in range(graph.degree(v))
+        )
+        if row != transitions[c]:  # pragma: no cover - invariant guard
+            raise AssertionError("view classes are not a fibration")
+
+    return QuotientGraph(
+        classes=classes,
+        color_of=tuple(colors),
+        degree_of=tuple(degree_of),
+        transitions=tuple(transitions),
+    )
+
+
+def port_automorphisms(graph: PortLabeledGraph) -> list[tuple[int, ...]]:
+    """All port-preserving automorphisms (as node permutations).
+
+    A permutation ``phi`` qualifies when for every node ``v`` and port
+    ``p``: ``phi(succ(v, p)) = succ(phi(v), p)`` and the entry ports
+    agree.  Backtracking search seeded by one image choice: since the
+    graph is connected and ports are preserved, the image of a single
+    node determines the whole map, so the search is ``O(n)`` images
+    times ``O(m)`` verification — fine for the small graphs we reason
+    about exhaustively.
+    """
+    n = graph.n
+    colors = view_classes(graph)
+    autos: list[tuple[int, ...]] = []
+    for image_of_0 in range(n):
+        if colors[image_of_0] != colors[0]:
+            continue  # automorphisms preserve views
+        phi = [-1] * n
+        phi[0] = image_of_0
+        queue = [0]
+        ok = True
+        while queue and ok:
+            v = queue.pop()
+            if graph.degree(v) != graph.degree(phi[v]):
+                ok = False
+                break
+            for p in range(graph.degree(v)):
+                w = graph.succ(v, p)
+                w_image = graph.succ(phi[v], p)
+                if graph.entry_port(v, p) != graph.entry_port(phi[v], p):
+                    ok = False
+                    break
+                if phi[w] == -1:
+                    phi[w] = w_image
+                    queue.append(w)
+                elif phi[w] != w_image:
+                    ok = False
+                    break
+        if ok and sorted(phi) == list(range(n)):
+            autos.append(tuple(phi))
+    return autos

@@ -1,0 +1,121 @@
+"""Symmetry-structure analysis: whole-graph Shrink and delay maps.
+
+Tools built on top of the per-pair primitives that answer the
+questions a deployment would actually ask of this theory: *how much
+delay does this topology need in the worst case?*, *which pairs are
+the hard ones?*, *what do the symmetry orbits look like?*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.symmetry.shrink import shrink
+from repro.symmetry.views import view_classes
+
+__all__ = [
+    "shrink_matrix",
+    "symmetry_orbits",
+    "DelayProfile",
+    "delay_profile",
+    "min_universal_delay",
+]
+
+
+def shrink_matrix(graph: PortLabeledGraph) -> np.ndarray:
+    """Matrix ``S`` with ``S[u, v] = Shrink(u, v)`` for symmetric pairs
+    and ``-1`` for non-symmetric pairs (where the notion is moot and
+    every delay works anyway).  ``S[v, v] = 0``."""
+    n = graph.n
+    colors = view_classes(graph)
+    out = np.full((n, n), -1, dtype=np.int64)
+    np.fill_diagonal(out, 0)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if colors[u] == colors[v]:
+                s = shrink(graph, u, v)
+                out[u, v] = s
+                out[v, u] = s
+    return out
+
+
+def symmetry_orbits(graph: PortLabeledGraph) -> list[list[int]]:
+    """Nodes grouped by view equality, in canonical color order.
+
+    For vertex-transitive port labelings this is one orbit; each orbit
+    of size >= 2 is a set of mutually indistinguishable positions.
+    """
+    colors = view_classes(graph)
+    orbits: dict[int, list[int]] = {}
+    for v, c in enumerate(colors):
+        orbits.setdefault(c, []).append(v)
+    return [orbits[c] for c in sorted(orbits)]
+
+
+@dataclass(frozen=True)
+class DelayProfile:
+    """Worst-case delay requirements of one topology.
+
+    Attributes
+    ----------
+    max_shrink:
+        The largest ``Shrink`` over symmetric pairs — the delay that
+        makes *every* STIC of the graph feasible (0 if no symmetric
+        pairs exist).
+    hardest_pair:
+        A pair attaining it (``None`` if no symmetric pairs).
+    symmetric_pairs / total_pairs:
+        How much of the graph is symmetry-afflicted.
+    mean_shrink:
+        Average ``Shrink`` over symmetric pairs (0.0 if none).
+    """
+
+    max_shrink: int
+    hardest_pair: tuple[int, int] | None
+    symmetric_pairs: int
+    total_pairs: int
+    mean_shrink: float
+
+
+def delay_profile(graph: PortLabeledGraph) -> DelayProfile:
+    """Summarize the graph's delay requirements (see :class:`DelayProfile`)."""
+    matrix = shrink_matrix(graph)
+    n = graph.n
+    worst = 0
+    hardest: tuple[int, int] | None = None
+    values: list[int] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            s = int(matrix[u, v])
+            if s < 0:
+                continue
+            values.append(s)
+            if s > worst:
+                worst, hardest = s, (u, v)
+    if values and hardest is None:
+        hardest = next(
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if matrix[u, v] == worst
+        )
+    return DelayProfile(
+        max_shrink=worst,
+        hardest_pair=hardest,
+        symmetric_pairs=len(values),
+        total_pairs=n * (n - 1) // 2,
+        mean_shrink=float(np.mean(values)) if values else 0.0,
+    )
+
+
+def min_universal_delay(graph: PortLabeledGraph) -> int:
+    """Smallest delay making every STIC of the graph feasible.
+
+    Equals ``max Shrink`` over symmetric pairs (Corollary 3.1):
+    non-symmetric pairs need nothing, symmetric pairs need their
+    ``Shrink``.
+    """
+    return delay_profile(graph).max_shrink

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG and bit-string encodings."""
+
+from repro.util.encoding import (
+    bits_to_int,
+    bytes_to_bits,
+    double_and_terminate,
+    int_to_bits,
+    undouble,
+)
+from repro.util.lcg import SplitMix64, derive_seed
+
+__all__ = [
+    "SplitMix64",
+    "derive_seed",
+    "int_to_bits",
+    "bits_to_int",
+    "double_and_terminate",
+    "undouble",
+    "bytes_to_bits",
+]

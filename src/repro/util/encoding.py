@@ -1,0 +1,99 @@
+"""Bit-string encodings used by the label-based rendezvous machinery.
+
+``AsymmRV`` (our substitute for the algorithm of Czyzowicz, Kosowski &
+Pelc [20]) turns each agent's truncated view into a *label* — a finite
+bit string — and then schedules exploration/waiting periods from a
+transformed version of that label.  The transformations here provide
+the two properties the correctness argument needs:
+
+* :func:`double_and_terminate` makes the code **prefix-free**: no
+  transformed label is a prefix of another, so unequal labels disagree
+  at some position even when their raw lengths differ.
+* :func:`int_to_bits` / :func:`bits_to_int` are the canonical binary
+  codecs used to serialize view signatures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "double_and_terminate",
+    "undouble",
+    "bytes_to_bits",
+]
+
+
+def int_to_bits(value: int, width: int | None = None) -> tuple[int, ...]:
+    """Big-endian binary expansion of a non-negative integer.
+
+    If ``width`` is given the result is zero-padded on the left to that
+    width (raising if the value does not fit).
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    bits = tuple(int(c) for c in bin(value)[2:]) if value else (0,)
+    if width is not None:
+        if len(bits) > width:
+            raise ValueError(f"{value} does not fit in {width} bits")
+        bits = (0,) * (width - len(bits)) + bits
+    return bits
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Inverse of :func:`int_to_bits` (big-endian)."""
+    out = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit}")
+        out = (out << 1) | bit
+    return out
+
+
+def double_and_terminate(bits: Sequence[int]) -> tuple[int, ...]:
+    """Classic prefix-free transformation: double every bit, append 01.
+
+    ``b1 b2 ... bk  ->  b1 b1 b2 b2 ... bk bk 0 1``
+
+    The doubled body never contains the block "01" at an even offset,
+    so the terminator is unambiguous and the code is prefix-free: for
+    any two distinct inputs, neither output is a prefix of the other.
+    """
+    out: list[int] = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit}")
+        out.append(bit)
+        out.append(bit)
+    out.extend((0, 1))
+    return tuple(out)
+
+
+def undouble(code: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`double_and_terminate`; validates the format."""
+    if len(code) < 2 or len(code) % 2 != 0:
+        raise ValueError("malformed doubled code: bad length")
+    if tuple(code[-2:]) != (0, 1):
+        raise ValueError("malformed doubled code: missing 01 terminator")
+    body = code[:-2]
+    bits: list[int] = []
+    for i in range(0, len(body), 2):
+        pair = (body[i], body[i + 1])
+        if pair == (0, 0):
+            bits.append(0)
+        elif pair == (1, 1):
+            bits.append(1)
+        else:
+            raise ValueError(f"malformed doubled code: pair {pair} at {i}")
+    return tuple(bits)
+
+
+def bytes_to_bits(data: bytes) -> tuple[int, ...]:
+    """Expand bytes into a big-endian bit tuple (8 bits per byte)."""
+    out: list[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            out.append((byte >> shift) & 1)
+    return tuple(out)

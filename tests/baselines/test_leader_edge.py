@@ -1,0 +1,78 @@
+"""Edge cases of the leader-election reduction."""
+
+import pytest
+
+from repro.baselines.leader_election import Election, elect_leader
+from repro.graphs import path_graph, two_node_graph
+from repro.sim import Move, run_rendezvous, wait_forever
+
+
+class TestTieBreakRules:
+    def test_earlier_start_rule(self):
+        # Meeting exactly at the later agent's wake-up: the later agent
+        # has no history at all, so the earlier one leads.
+        def algorithm(percept):
+            if percept.degree == 1 and percept.clock == 0:
+                percept = yield Move(0)
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        result = run_rendezvous(
+            g, 0, 1, 5, algorithm, max_rounds=20, record_traces=True
+        )
+        assert result.met and result.meeting_time == 5
+        election = elect_leader(result)
+        assert election == Election(leader=0, decided_at=4, rule="earlier-start")
+
+    def test_mover_rule(self):
+        # One agent walks into the other's waiting position.
+        def algorithm(percept):
+            if percept.degree == 2:
+                yield from wait_forever(percept)
+            percept = yield Move(0)
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        result = run_rendezvous(
+            g, 0, 1, 0, algorithm, max_rounds=20, record_traces=True
+        )
+        assert result.met
+        election = elect_leader(result)
+        assert election.rule == "mover"
+        assert election.leader == 0  # the endpoint agent moved in
+
+    def test_larger_port_rule(self):
+        # Both agents move into the meeting node in the same round by
+        # different ports: P3 ends both step inward.
+        def algorithm(percept):
+            percept = yield Move(0)
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        result = run_rendezvous(
+            g, 0, 2, 0, algorithm, max_rounds=20, record_traces=True
+        )
+        assert result.met and result.meeting_node == 1
+        election = elect_leader(result)
+        assert election.rule == "larger-port"
+        # agent 1 entered by port 1 (> port 0): it leads.
+        assert election.leader == 1
+
+    def test_election_value_object(self):
+        e = Election(leader=1, decided_at=3, rule="mover")
+        assert e.leader == 1 and "mover" in repr(e)
+
+    def test_same_round_same_port_impossible(self):
+        # Sanity: on the two-node graph with odd delay, the meeting is
+        # always decided (never falls through to the impossible case).
+        def algorithm(percept):
+            while True:
+                percept = yield Move(0)
+
+        for delta in (1, 3, 5):
+            result = run_rendezvous(
+                two_node_graph(), 0, 1, delta, algorithm,
+                max_rounds=50, record_traces=True,
+            )
+            assert result.met
+            elect_leader(result)  # must not raise

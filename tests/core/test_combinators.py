@@ -1,0 +1,158 @@
+"""Tests for bounded_run / backtrack / run_segment."""
+
+import pytest
+
+from repro.core import backtrack, bounded_run, run_segment
+from repro.graphs import oriented_ring, path_graph
+from repro.sim import Move, Wait, WaitBlock, run_single_agent, wait_rounds
+
+
+def drive(graph, start, algorithm, max_rounds=10**6):
+    return run_single_agent(graph, start, algorithm, max_rounds=max_rounds)
+
+
+def walker(ports):
+    """Inner script: walk the ports then finish."""
+
+    def script(percept):
+        for p in ports:
+            percept = yield Move(p)
+        return percept
+
+    return script
+
+
+class TestBoundedRun:
+    def test_truncates_at_budget(self):
+        g = oriented_ring(6)
+
+        def algorithm(percept):
+            def inner(p):
+                while True:
+                    p = yield Move(0)
+
+            percept, trail = yield from bounded_run(percept, inner(percept), 4)
+            assert len(trail) == 4
+            return percept
+
+        visited, final = drive(g, 0, algorithm)
+        assert visited == [0, 1, 2, 3, 4]
+        assert final == 4
+
+    def test_early_finish_pads_with_waiting(self):
+        g = oriented_ring(6)
+
+        def algorithm(percept):
+            percept, trail = yield from bounded_run(
+                percept, walker([0, 0])(percept), 10
+            )
+            assert trail == [1, 1]
+            return percept
+
+        visited, final = drive(g, 0, algorithm)
+        assert len(visited) - 1 == 10  # exactly the budget
+        assert final == 2
+
+    def test_zero_budget(self):
+        g = oriented_ring(6)
+
+        def algorithm(percept):
+            percept, trail = yield from bounded_run(
+                percept, walker([0])(percept), 0
+            )
+            assert trail == []
+            return percept
+
+        visited, final = drive(g, 0, algorithm)
+        assert visited == [0] and final == 0
+
+    def test_waitblock_split_at_budget(self):
+        g = oriented_ring(6)
+
+        def algorithm(percept):
+            def inner(p):
+                p = yield WaitBlock(100)
+                p = yield Move(0)  # must never run
+                return p
+
+            percept, trail = yield from bounded_run(percept, inner(percept), 7)
+            assert trail == []
+            return percept
+
+        visited, final = drive(g, 0, algorithm)
+        assert len(visited) - 1 == 7 and final == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            list(bounded_run(None, iter(()), -1))
+
+
+class TestBacktrack:
+    def test_undoes_walk(self):
+        g = path_graph(5)
+
+        def algorithm(percept):
+            percept, trail = yield from bounded_run(
+                percept, walker([0, 1, 1])(percept), 3
+            )
+            percept = yield from backtrack(percept, trail)
+            return percept
+
+        _, final = drive(g, 0, algorithm)
+        assert final == 0
+
+
+class TestRunSegment:
+    def test_exact_double_budget_and_home(self):
+        g = oriented_ring(8)
+        budget = 5
+
+        def algorithm(percept):
+            def inner(p):
+                while True:
+                    p = yield Move(0)
+
+            percept = yield from run_segment(percept, inner(percept), budget)
+            return percept
+
+        visited, final = drive(g, 3, algorithm)
+        assert final == 3
+        assert len(visited) - 1 == 2 * budget
+
+    def test_segment_with_waiting_inner(self):
+        g = oriented_ring(8)
+        budget = 6
+
+        def algorithm(percept):
+            def inner(p):
+                p = yield Move(0)
+                p = yield from wait_rounds(p, 100)
+                return p
+
+            percept = yield from run_segment(percept, inner(percept), budget)
+            return percept
+
+        visited, final = drive(g, 0, algorithm)
+        assert final == 0
+        assert len(visited) - 1 == 2 * budget
+
+    def test_two_agents_identical_segment_duration(self):
+        # Different positions, same parameters => same duration: the
+        # phase-accounting invariant of UniversalRV.
+        g = path_graph(4)
+        durations = []
+        budget = 9
+        for start in (0, 1, 3):
+
+            def algorithm(percept):
+                def inner(p):
+                    while True:
+                        p = yield Move(0)
+
+                percept = yield from run_segment(percept, inner(percept), budget)
+                return percept
+
+            visited, final = drive(g, start, algorithm)
+            durations.append(len(visited) - 1)
+            assert final == start
+        assert len(set(durations)) == 1

@@ -1,0 +1,75 @@
+"""Tests for dedicated (instance-aware) rendezvous plans."""
+
+import pytest
+
+from repro.core.dedicated import (
+    InfeasibleSTIC,
+    dedicated_rendezvous,
+    plan_dedicated,
+)
+from repro.core.universal import rendezvous
+from repro.graphs import (
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    symmetric_tree,
+    torus_node,
+    two_node_graph,
+)
+
+
+class TestPlanning:
+    def test_symmetric_gets_symm_plan(self):
+        plan = plan_dedicated(oriented_ring(6), 0, 3, 3)
+        assert plan.kind == "symm" and not plan.needs_oracles
+
+    def test_nonsymmetric_gets_asymm_plan(self):
+        plan = plan_dedicated(path_graph(4), 0, 3, 0)
+        assert plan.kind == "asymm" and plan.needs_oracles
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleSTIC, match="Lemma 3.1"):
+            plan_dedicated(two_node_graph(), 0, 1, 0)
+
+    def test_bound_is_positive(self):
+        plan = plan_dedicated(oriented_torus(3, 3), 0, 4, 2)
+        assert plan.bound > 0
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "graph,u,v,delta",
+        [
+            (two_node_graph(), 0, 1, 1),
+            (oriented_ring(6), 0, 3, 3),
+            (oriented_torus(3, 3), 0, torus_node(1, 1, 3), 2),
+            (symmetric_tree(2, 2), 0, 7, 1),
+            (path_graph(4), 0, 3, 2),
+            (star_graph(3), 1, 2, 0),
+        ],
+        ids=["P2", "ring", "torus", "tree", "path", "star"],
+    )
+    def test_meets_within_bound(self, graph, u, v, delta):
+        plan = plan_dedicated(graph, u, v, delta)
+        result = dedicated_rendezvous(graph, u, v, delta)
+        assert result.met
+        assert result.time_from_later <= plan.bound
+
+    def test_dedicated_cheaper_guarantee_than_universal(self):
+        # The *guaranteed* bound of the dedicated plan is far below the
+        # universal budget — the price of universality, quantified.
+        from repro.core import universal_round_budget
+        from repro.core.profile import TUNED
+
+        g = oriented_ring(6)
+        plan = plan_dedicated(g, 0, 3, 3)
+        universal_budget = universal_round_budget(TUNED, 6, 3, 3)
+        assert plan.bound * 10 < universal_budget
+
+    def test_agrees_with_universal_on_feasibility(self):
+        g = oriented_ring(4)
+        for delta in (2, 3):
+            dedicated = dedicated_rendezvous(g, 0, 2, delta)
+            universal = rendezvous(g, 0, 2, delta)
+            assert dedicated.met and universal.met

@@ -1,0 +1,100 @@
+"""Unit tests for Procedure Explore (Algorithm 2)."""
+
+import pytest
+
+from repro.core import count_walks, explore, explore_round_count
+from repro.graphs import (
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    two_node_graph,
+)
+from repro.sim import run_single_agent
+
+
+def explore_alg(d, delta):
+    def algorithm(percept):
+        percept = yield from explore(percept, d, delta)
+        return percept
+
+    return algorithm
+
+
+class TestExplore:
+    @pytest.mark.parametrize(
+        "graph,start,d,delta",
+        [
+            (two_node_graph(), 0, 1, 1),
+            (oriented_ring(5), 2, 1, 3),
+            (oriented_ring(5), 0, 2, 2),
+            (path_graph(4), 1, 2, 4),
+            (star_graph(3), 0, 2, 2),
+            (oriented_torus(3, 3), 4, 2, 3),
+        ],
+    )
+    def test_returns_home_with_exact_duration(self, graph, start, d, delta):
+        expected = explore_round_count(graph, start, d, delta)
+        visited, final = run_single_agent(
+            graph, start, explore_alg(d, delta), max_rounds=expected + 10
+        )
+        assert final == start
+        assert len(visited) - 1 == expected  # rounds consumed
+
+    def test_visits_all_walk_endpoints(self):
+        # Every node within distance d must be touched.
+        g = oriented_torus(3, 3)
+        d = 2
+        visited, _ = run_single_agent(
+            g, 0, explore_alg(d, d), max_rounds=10**6
+        )
+        within = {v for v in range(g.n) if g.distance(0, v) <= d}
+        assert within <= set(visited)
+
+    def test_wait_tail_at_home(self):
+        # With delta > d, each iteration ends with delta - d rounds at
+        # the origin: origin must appear in long runs.
+        g = oriented_ring(4)
+        visited, _ = run_single_agent(g, 0, explore_alg(1, 5), max_rounds=10**4)
+        # per iteration: 1 out, 1 back, 4 wait -> 5 of 6 rounds at home
+        assert visited.count(0) > len(visited) * 0.6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            list(explore(None, 0, 1))  # d < 1
+        with pytest.raises(ValueError):
+            list(explore(None, 2, 1))  # delta < d
+
+    def test_lockstep_on_symmetric_nodes(self):
+        # Two symmetric agents enumerate identical degree profiles, so
+        # their explore runs have identical durations.
+        g = oriented_ring(6)
+        d, delta = 2, 3
+        assert explore_round_count(g, 0, d, delta) == explore_round_count(
+            g, 3, d, delta
+        )
+
+
+class TestCountWalks:
+    def test_ring(self):
+        g = oriented_ring(5)
+        assert count_walks(g, 0, 1) == 2
+        assert count_walks(g, 0, 3) == 8
+
+    def test_path_endpoint(self):
+        g = path_graph(4)
+        # from an endpoint: 1 walk of length 1, then branching at inner nodes
+        assert count_walks(g, 0, 1) == 1
+        assert count_walks(g, 0, 2) == 2
+
+    def test_bound_of_lemma(self):
+        # count_walks <= (n-1)^d, the bound used in Lemma 3.3.
+        for g in (oriented_ring(5), star_graph(4), oriented_torus(3, 3)):
+            for d in (1, 2, 3):
+                for v in range(g.n):
+                    assert count_walks(g, v, d) <= (g.n - 1) ** d
+
+    def test_explore_round_count_formula(self):
+        g = two_node_graph()
+        # 1 walk of length 1, each iteration costs d + delta = 4.
+        assert explore_round_count(g, 0, 1, 3) == 4

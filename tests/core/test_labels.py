@@ -1,0 +1,140 @@
+"""Tests for view-label encodings: oracle/faithful equivalence,
+injectivity, padding, and budgets."""
+
+import pytest
+
+from repro.core import (
+    encode_graph_view,
+    encode_view_tree,
+    hash_bits,
+    max_label_bits,
+    pad_bits,
+    reconstruct_view,
+    unpad_bits,
+    view_reconstruction_budget,
+)
+from repro.graphs import (
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    symmetric_tree,
+    two_node_graph,
+)
+from repro.graphs.enumeration import enumerate_port_labeled_graphs
+from repro.sim import run_single_agent
+from repro.symmetry import truncated_view, view_classes
+
+
+def reconstruct_via_agent(graph, start, depth):
+    """Physically reconstruct the view by walking (faithful mode)."""
+    box = {}
+
+    def algorithm(percept):
+        result = yield from reconstruct_view(percept, depth)
+        box["tree"] = result[1]
+        return result[0]
+
+    budget = view_reconstruction_budget(graph.n, depth)
+    visited, final = run_single_agent(graph, start, algorithm, max_rounds=budget + 1)
+    assert final == start, "reconstruction must end at home"
+    assert len(visited) - 1 <= budget, "budget formula must dominate the walk"
+    return box["tree"]
+
+
+class TestOracleFaithfulEquivalence:
+    @pytest.mark.parametrize(
+        "graph,depth",
+        [
+            (two_node_graph(), 1),
+            (oriented_ring(5), 2),
+            (path_graph(4), 3),
+            (star_graph(3), 2),
+            (oriented_torus(3, 3), 2),
+            (symmetric_tree(2, 1), 3),
+        ],
+        ids=["P2", "ring5", "path4", "star", "torus", "tree"],
+    )
+    def test_bit_identical_encodings(self, graph, depth):
+        for start in range(min(graph.n, 4)):
+            tree = reconstruct_via_agent(graph, start, depth)
+            assert tree == truncated_view(graph, start, depth)
+            assert encode_view_tree(tree) == encode_graph_view(graph, start, depth)
+
+    def test_exhaustive_n3(self):
+        for g in enumerate_port_labeled_graphs(3):
+            for v in range(3):
+                tree = truncated_view(g, v, 2)
+                assert encode_view_tree(tree) == encode_graph_view(g, v, 2)
+
+
+class TestInjectivity:
+    def test_labels_separate_nonsymmetric_nodes(self):
+        # Norris: depth n-1 distinguishes non-symmetric nodes.
+        for g in (path_graph(4), star_graph(4), symmetric_tree(2, 1)):
+            colors = view_classes(g)
+            depth = g.n - 1
+            encodings = [encode_graph_view(g, v, depth) for v in range(g.n)]
+            for u in range(g.n):
+                for v in range(u + 1, g.n):
+                    same = encodings[u] == encodings[v]
+                    assert same == (colors[u] == colors[v]), (u, v)
+
+    def test_labels_equal_for_symmetric_nodes(self):
+        g = oriented_torus(3, 3)
+        depth = g.n - 1
+        base = encode_graph_view(g, 0, depth)
+        assert all(encode_graph_view(g, v, depth) == base for v in range(g.n))
+
+    def test_encoding_is_polynomial_size(self):
+        # Minimized-DAG encoding must not blow up exponentially.
+        g = oriented_torus(3, 3)
+        bits = encode_graph_view(g, 0, g.n - 1)
+        assert len(bits) < max_label_bits(g.n, g.n - 1)
+
+
+class TestPadding:
+    def test_roundtrip(self):
+        for bits in ((), (1,), (0, 1, 1, 0)):
+            assert unpad_bits(pad_bits(bits, 16)) == bits
+
+    def test_width_enforced(self):
+        with pytest.raises(ValueError):
+            pad_bits((0,) * 16, 16)
+
+    def test_malformed_unpad(self):
+        with pytest.raises(ValueError):
+            unpad_bits((0, 0, 0))
+
+    def test_injective_at_fixed_width(self):
+        padded = {pad_bits(b, 8) for b in ((0,), (1,), (0, 0), (1, 0), (0, 1))}
+        assert len(padded) == 5
+
+
+class TestHashBits:
+    def test_deterministic(self):
+        assert hash_bits((1, 0, 1), 16) == hash_bits((1, 0, 1), 16)
+
+    def test_width(self):
+        assert len(hash_bits((1, 1), 32)) == 32
+
+    def test_separates_typical_labels(self):
+        g = path_graph(4)
+        a = hash_bits(encode_graph_view(g, 0, 3), 16)
+        b = hash_bits(encode_graph_view(g, 3, 3), 16)
+        assert a != b
+
+
+class TestBudget:
+    def test_budget_formula(self):
+        assert view_reconstruction_budget(5, 0) == 0
+        assert view_reconstruction_budget(2, 1) == 2
+        assert view_reconstruction_budget(4, 2) == 4 * 9
+
+    def test_budget_dominates_all_small_graphs(self):
+        depth = 2
+        for g in enumerate_port_labeled_graphs(3):
+            budget = view_reconstruction_budget(3, depth)
+            for v in range(3):
+                tree = reconstruct_via_agent(g, v, depth)
+                assert tree is not None  # walk fit in the budget

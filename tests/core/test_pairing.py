@@ -1,0 +1,80 @@
+"""Unit tests for the pairing bijections f and g (Section 3.2)."""
+
+import pytest
+
+from repro.core import pair, triple, unpair, untriple
+
+
+class TestPair:
+    def test_formula_examples(self):
+        # f(x, y) = x + (x+y-1)(x+y-2)/2
+        assert pair(1, 1) == 1
+        assert pair(1, 2) == 2
+        assert pair(2, 1) == 3
+        assert pair(1, 3) == 4
+        assert pair(2, 2) == 5
+        assert pair(3, 1) == 6
+
+    def test_bijection_range(self):
+        seen = {}
+        for x in range(1, 40):
+            for y in range(1, 40):
+                p = pair(x, y)
+                assert p not in seen, f"collision at {(x, y)} vs {seen[p]}"
+                seen[p] = (x, y)
+        # f is onto: the first N positive integers are all hit within
+        # the enumerated square.
+        covered = set(seen)
+        assert all(i in covered for i in range(1, 500))
+
+    def test_unpair_inverts(self):
+        for p in range(1, 2000):
+            x, y = unpair(p)
+            assert x >= 1 and y >= 1
+            assert pair(x, y) == p
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            pair(0, 1)
+        with pytest.raises(ValueError):
+            pair(1, 0)
+        with pytest.raises(ValueError):
+            unpair(0)
+
+
+class TestTriple:
+    def test_inverts(self):
+        for p in range(1, 3000):
+            x, y, z = untriple(p)
+            assert triple(x, y, z) == p
+
+    def test_enumeration_hits_all_small_triples(self):
+        seen = set()
+        for p in range(1, 30000):
+            seen.add(untriple(p))
+        for x in range(1, 6):
+            for y in range(1, 6):
+                for z in range(1, 6):
+                    assert (x, y, z) in seen
+
+    def test_growth_bound(self):
+        # Proposition 4.1's counting: g(n, d, delta) = O(n^4 + d^4 + delta^2).
+        for n in range(1, 12):
+            for d in range(1, n):
+                for delta in range(0, 12):
+                    assert triple(n, d, delta + 1) <= 40 * (
+                        n**4 + d**4 + (delta + 1) ** 2 + 1
+                    )
+
+
+class TestLargeValues:
+    def test_arbitrary_precision(self):
+        # The phase index of a large decisive triple must round-trip
+        # exactly (Python ints are exact; this guards against any
+        # future numpy-ification of the pairing path).
+        big = (10**9, 10**9 - 1, 10**6)
+        assert untriple(triple(*big)) == big
+
+    def test_unpair_large(self):
+        p = pair(10**12, 7)
+        assert unpair(p) == (10**12, 7)

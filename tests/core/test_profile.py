@@ -1,0 +1,59 @@
+"""Tests for execution profiles (reference vs tuned)."""
+
+import pytest
+
+from repro.core.profile import REFERENCE, TUNED, Profile, tuned_profile
+from repro.core.uxs import is_uxs_for_graph, uxs_for_size
+from repro.graphs import oriented_ring, path_graph
+
+
+class TestProfiles:
+    def test_reference_uses_paper_constants(self):
+        assert REFERENCE.uxs(3) == uxs_for_size(3)
+        assert REFERENCE.view_depth(5) == 4
+        assert REFERENCE.label_mode == "padded"
+        assert REFERENCE.view_mode == "faithful"
+
+    def test_tuned_is_smaller(self):
+        for n in (3, 5, 8):
+            assert len(TUNED.uxs(n)) < len(REFERENCE.uxs(n))
+            assert TUNED.asymm_bound(n) < REFERENCE.asymm_bound(n)
+
+    def test_profiles_are_pure(self):
+        # Same constructor args -> identical parameter schedules: the
+        # agent-agreement property.
+        a = tuned_profile(uxs_scale=7)
+        b = tuned_profile(uxs_scale=7)
+        assert a.uxs(5) == b.uxs(5)
+        assert a.asymm_bound(5) == b.asymm_bound(5)
+        assert a.symm_bound(5, 2, 3) == b.symm_bound(5, 2, 3)
+
+    def test_view_depth_cap(self):
+        capped = tuned_profile(view_depth_cap=2)
+        assert capped.view_depth(10) == 2
+        assert capped.view_depth(2) == 1
+
+    def test_symm_bound_matches_formula(self):
+        from repro.core.bounds import symm_rv_time_bound
+
+        n, d, delta = 5, 2, 3
+        assert TUNED.symm_bound(n, d, delta) == symm_rv_time_bound(
+            n, d, delta, len(TUNED.uxs(n))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Profile("x", label_mode="crc", view_mode="oracle", uxs_scale=1)
+        with pytest.raises(ValueError):
+            Profile("x", label_mode="hash16", view_mode="psychic", uxs_scale=1)
+
+    def test_tuned_uxs_covers_workloads(self):
+        for g in (oriented_ring(7), path_graph(8)):
+            assert is_uxs_for_graph(g, TUNED.uxs(g.n))
+
+    def test_asymm_params_coherent(self):
+        params = TUNED.asymm_params(6)
+        assert params.n == 6
+        assert params.depth == TUNED.view_depth(6)
+        assert params.uxs == TUNED.uxs(6)
+        assert params.label_mode == "hash16"

@@ -1,0 +1,121 @@
+"""White-box checks of the *mechanisms* inside the Section 3 proofs —
+not just outcomes, but the specific events the arguments rely on."""
+
+from itertools import product
+
+from repro.core import explore, make_symm_rv_algorithm, symm_rv_time_bound
+from repro.core.profile import TUNED
+from repro.graphs import oriented_ring, oriented_torus, path_graph, torus_node
+from repro.sim import Move, Wait, WaitBlock, run_rendezvous, run_single_agent
+from repro.symmetry import shrink, shrink_witness
+
+
+class TestExploreLexOrder:
+    def test_walks_enumerated_in_lexicographic_order(self):
+        """Algorithm 2 requires 'lexicographic order of corresponding
+        port sequences'; recover the order from a traced run."""
+        g = oriented_torus(3, 3)
+        d, delta = 2, 2
+        actions = []
+
+        def algorithm(percept):
+            inner = explore(percept, d, delta)
+            action = next(inner)
+            while True:
+                actions.append(action)
+                percept = yield action
+                try:
+                    action = inner.send(percept)
+                except StopIteration:
+                    return
+
+        run_single_agent(g, 0, algorithm, max_rounds=10**6)
+        # Expand to one action per round, then chunk into (d + delta)-
+        # round iterations: rounds [0, d) of each chunk are the forward
+        # walk of that iteration.
+        per_round: list = []
+        for action in actions:
+            if isinstance(action, WaitBlock):
+                per_round.extend([Wait()] * action.rounds)
+            else:
+                per_round.append(action)
+        assert len(per_round) % (d + delta) == 0
+        sequences = []
+        for i in range(0, len(per_round), d + delta):
+            chunk = per_round[i : i + d + delta]
+            assert all(isinstance(a, Move) for a in chunk[: 2 * d])
+            assert all(isinstance(a, Wait) for a in chunk[2 * d :])
+            sequences.append(tuple(a.port for a in chunk[:d]))
+        # All walks of length 2 from a degree-4 node: 16 sequences.
+        expected = sorted(product(range(4), repeat=2))
+        assert sequences == [tuple(s) for s in expected]
+
+
+class TestLemma32Mechanism:
+    def test_meeting_happens_at_shrink_witness_distance_zero(self):
+        """Lemma 3.2's argument: the earlier agent walks the witness
+        path into the later agent's waiting window.  Verify that at the
+        meeting round the later agent is stationary (its position equals
+        its position one round earlier) while the earlier agent arrived
+        by a move."""
+        g = oriented_ring(6)
+        u, v = 0, 3
+        d = shrink(g, u, v)
+        delta = d
+        uxs = TUNED.uxs(6)
+        algorithm = make_symm_rv_algorithm(6, d, delta, uxs=uxs)
+        bound = symm_rv_time_bound(6, d, delta, len(uxs))
+        result = run_rendezvous(
+            g, u, v, delta, algorithm,
+            max_rounds=bound + delta + 5, record_traces=True,
+        )
+        assert result.met
+        trace_early, trace_late = result.traces
+        t_meet = result.meeting_time
+
+        def moved_at(trace, t):
+            return any(
+                isinstance(e.action, Move) and e.time == t for e in trace.entries
+            )
+
+        # Earlier agent moved into the meeting; later agent did not.
+        assert moved_at(trace_early, t_meet - 1)
+        assert not moved_at(trace_late, t_meet - 1)
+
+    def test_witness_pair_realizable_by_both_agents(self):
+        """The witness sequence alpha is applicable at both u and v and
+        lands them at distance Shrink — the setup of Lemma 3.2."""
+        g = oriented_torus(3, 3)
+        u, v = 0, torus_node(1, 1, 3)
+        value, alpha, (x, y) = shrink_witness(g, u, v)
+        assert g.apply_port_sequence(u, alpha) == x
+        assert g.apply_port_sequence(v, alpha) == y
+        assert g.distance(x, y) == value == 2
+
+
+class TestLemma31Mechanism:
+    def test_symmetric_agents_port_streams_coincide(self):
+        """Lemma 3.1's engine: from symmetric starts, the two agents'
+        outgoing-port streams are identical (shifted by delta)."""
+        g = oriented_ring(6)
+        algorithm = make_symm_rv_algorithm(6, 2, 2, uxs=TUNED.uxs(6)[:30])
+        result = run_rendezvous(
+            g, 0, 3, 2, algorithm, max_rounds=4000, record_traces=True
+        )
+        assert not result.met  # delta 2 < Shrink 3
+        early, late = result.traces
+        ports_early = [p for p, _ in early.port_history()]
+        ports_late = [p for p, _ in late.port_history()]
+        k = min(len(ports_early), len(ports_late))
+        assert ports_early[:k] == ports_late[:k]
+
+    def test_asymmetric_agents_port_streams_diverge(self):
+        """...whereas non-symmetric agents' streams must eventually
+        differ — that divergence is what AsymmRV amplifies."""
+        from repro.core.dedicated import dedicated_rendezvous
+
+        g = path_graph(3)
+        result = dedicated_rendezvous(g, 0, 2, 0, record_traces=True)
+        assert result.met
+        early, late = result.traces
+        assert early.port_history() != late.port_history()

@@ -1,0 +1,75 @@
+"""Tests for the STIC value type, enumeration, and bound formulas."""
+
+import pytest
+
+from repro.core import (
+    STIC,
+    enumerate_stics,
+    feasible_stics,
+    infeasible_stics,
+    symm_rv_time_bound,
+    universal_time_envelope,
+    walk_count_bound,
+)
+from repro.graphs import oriented_ring, path_graph, star_graph, two_node_graph
+from repro.symmetry import classify_stic, shrink
+
+
+class TestSTIC:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STIC(0, 0, 1)
+        with pytest.raises(ValueError):
+            STIC(0, 1, -1)
+
+    def test_classify_delegates(self):
+        g = two_node_graph()
+        assert STIC(0, 1, 1).classify(g).feasible
+        assert not STIC(0, 1, 0).classify(g).feasible
+
+
+class TestEnumeration:
+    def test_counts_on_two_node(self):
+        g = two_node_graph()
+        assert len(feasible_stics(g, max_delta=3)) == 3  # delta 1..3
+        assert len(infeasible_stics(g, max_delta=3)) == 1  # delta 0
+
+    def test_nonsymmetric_all_feasible(self):
+        g = path_graph(3)
+        infeasible = infeasible_stics(g, max_delta=2)
+        # P3's only symmetric pair set is empty; everything is feasible.
+        assert infeasible == []
+
+    def test_matches_pointwise_classification(self):
+        g = oriented_ring(4)
+        for stic, verdict in enumerate_stics(g, max_delta=3):
+            direct = classify_stic(g, stic.u, stic.v, stic.delta)
+            assert verdict.feasible == direct.feasible, stic
+            assert verdict.symmetric == direct.symmetric, stic
+
+    def test_feasibility_boundary_is_shrink(self):
+        g = oriented_ring(6)
+        s = shrink(g, 0, 3)
+        feasible = {x.delta for x in feasible_stics(g, 6) if (x.u, x.v) == (0, 3)}
+        assert feasible == set(range(s, 7))
+
+    def test_star_counts(self):
+        g = star_graph(3)
+        # all pairs non-symmetric -> all STICs feasible
+        total = len(list(enumerate_stics(g, max_delta=1)))
+        assert total == 6 * 2  # C(4,2) pairs x 2 delays
+        assert len(feasible_stics(g, 1)) == total
+
+
+class TestBounds:
+    def test_walk_count_bound(self):
+        assert walk_count_bound(5, 3) == 64
+        assert walk_count_bound(1, 3) == 1
+
+    def test_symm_rv_bound_formula(self):
+        # T(n,d,delta) = [(d+delta)(n-1)^d](M+2) + 2(M+1)
+        assert symm_rv_time_bound(4, 2, 3, uxs_length=10) == (5 * 9) * 12 + 22
+
+    def test_envelope_monotone(self):
+        assert universal_time_envelope(3, 0) < universal_time_envelope(4, 0)
+        assert universal_time_envelope(3, 1) < universal_time_envelope(3, 5)

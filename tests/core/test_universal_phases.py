@@ -1,0 +1,80 @@
+"""White-box tests of UniversalRV's phase accounting.
+
+Theorem 3.1's proof rests on one structural invariant: *every phase
+segment has a position-independent duration and returns the agent to
+its starting node*.  These tests drive a single agent through several
+phases and check both properties against the closed-form
+``phase_duration``.
+"""
+
+from repro.core import phase_duration
+from repro.core.profile import tuned_profile
+from repro.core.universal import universal_rv
+from repro.graphs import oriented_ring, path_graph
+from repro.sim import run_single_agent
+
+# A deliberately tiny profile so several phases fit in a short run.
+PROFILE = tuned_profile(
+    view_mode="faithful", uxs_scale=1, view_depth_cap=1, name="phase-probe"
+)
+
+
+def phase_boundaries(profile, count):
+    """Cumulative round offsets of the first ``count`` phase ends."""
+    boundaries = []
+    total = 0
+    for p in range(1, count + 1):
+        total += phase_duration(profile, p)
+        boundaries.append(total)
+    return boundaries
+
+
+class TestPhaseStructure:
+    def test_agent_home_at_every_phase_boundary(self):
+        g = oriented_ring(4)
+        boundaries = phase_boundaries(PROFILE, 8)
+
+        def algorithm(percept):
+            yield from universal_rv(percept, PROFILE)
+
+        for start in (0, 2):
+            visited, _ = run_single_agent(
+                g, start, algorithm, max_rounds=boundaries[-1]
+            )
+            for b in boundaries:
+                assert visited[b] == start, f"not home at phase boundary {b}"
+
+    def test_durations_position_independent(self):
+        # Same graph, different (non-symmetric) positions: identical
+        # home-visit pattern at boundaries.
+        g = path_graph(4)
+        boundaries = phase_boundaries(PROFILE, 6)
+
+        def algorithm(percept):
+            yield from universal_rv(percept, PROFILE)
+
+        for start in range(4):
+            visited, _ = run_single_agent(
+                g, start, algorithm, max_rounds=boundaries[-1]
+            )
+            for b in boundaries:
+                assert visited[b] == start
+
+    def test_phase_durations_positive_when_executed(self):
+        from repro.core.pairing import untriple
+
+        for p in range(1, 40):
+            n, d, delta_code = untriple(p)
+            duration = phase_duration(PROFILE, p)
+            if d < n:
+                assert duration > 0
+            else:
+                assert duration == 0
+
+    def test_durations_monotone_in_delta_assumption(self):
+        # For a fixed (n, d), larger assumed delay means a longer phase.
+        from repro.core.pairing import triple
+
+        d1 = phase_duration(PROFILE, triple(3, 1, 2))
+        d2 = phase_duration(PROFILE, triple(3, 1, 5))
+        assert d2 > d1

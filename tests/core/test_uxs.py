@@ -1,0 +1,132 @@
+"""Tests for universal exploration sequences, including the exhaustive
+small-size certification promised in DESIGN.md §2.1."""
+
+import pytest
+
+from repro.core import (
+    apply_uxs,
+    apply_uxs_ports,
+    covers_from,
+    is_uxs_for_graph,
+    uxs_for_size,
+    uxs_length,
+)
+from repro.core.profile import REFERENCE, TUNED
+from repro.graphs import (
+    complete_graph,
+    hypercube,
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+    symmetric_tree,
+)
+from repro.graphs.enumeration import enumerate_port_labeled_graphs
+
+
+class TestApplication:
+    def test_application_semantics(self):
+        # u1 = succ(u0, 0); u_{i+1} = succ(u_i, (p + a_i) mod d).
+        g = oriented_ring(5)
+        walk = apply_uxs(g, 0, [0, 0])
+        # step 1: 0 -> 1 (port 0); entered by port 1.
+        # a=0: port (1+0)%2=1 -> back to 0; entered by port 0.
+        # a=0: port (0+0)%2=0 -> 1.
+        assert walk == [0, 1, 0, 1]
+
+    def test_ports_match_walk(self):
+        g = oriented_torus(3, 3)
+        seq = TUNED.uxs(9)[:50]
+        ports = apply_uxs_ports(g, 4, seq)
+        node = 4
+        for p in ports:
+            node = g.succ(node, p)
+        assert node == apply_uxs(g, 4, seq)[-1]
+        assert len(ports) == len(seq) + 1
+
+    def test_length_formula(self):
+        assert uxs_length(1) == 1
+        assert uxs_length(4) > uxs_length(2)
+        with pytest.raises(ValueError):
+            uxs_length(0)
+
+    def test_sequences_are_deterministic(self):
+        assert uxs_for_size(5) == uxs_for_size(5)
+
+
+class TestCoverageCertification:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_exhaustive_certification_small(self, n):
+        """Tuned and reference Y(n) cover every port-labeled graph of
+        size n from every start — the exhaustive tier."""
+        tuned = TUNED.uxs(n)
+        reference = REFERENCE.uxs(n)
+        for g in enumerate_port_labeled_graphs(n):
+            assert is_uxs_for_graph(g, tuned)
+            assert is_uxs_for_graph(g, reference)
+
+    def test_exhaustive_certification_n4_tuned(self):
+        tuned = TUNED.uxs(4)
+        for g in enumerate_port_labeled_graphs(4):
+            assert is_uxs_for_graph(g, tuned)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            oriented_ring(6),
+            oriented_torus(3, 3),
+            path_graph(7),
+            star_graph(5),
+            symmetric_tree(2, 2),
+            hypercube(3),
+            complete_graph(6),
+        ],
+        ids=["ring6", "torus9", "path7", "star6", "tree14", "cube8", "K6"],
+    )
+    def test_family_coverage_tuned(self, graph):
+        assert is_uxs_for_graph(graph, TUNED.uxs(graph.n))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graph_coverage(self, seed):
+        g = random_connected_graph(9, extra_edges=4, seed=seed)
+        assert is_uxs_for_graph(g, TUNED.uxs(9))
+
+    def test_covers_from_detects_failure(self):
+        g = path_graph(6)
+        assert not covers_from(g, 0, [0])  # two steps cannot see 6 nodes
+
+    def test_single_node(self):
+        from repro.graphs.port_graph import PortLabeledGraph
+
+        g = PortLabeledGraph(1, [])
+        assert is_uxs_for_graph(g, ())
+
+
+class TestMinimalVerified:
+    def test_genuinely_universal(self):
+        from repro.core import minimal_verified_uxs
+
+        for n in (2, 3):
+            seq = minimal_verified_uxs(n)
+            for g in enumerate_port_labeled_graphs(n):
+                assert is_uxs_for_graph(g, seq)
+
+    def test_much_shorter_than_default(self):
+        from repro.core import minimal_verified_uxs
+
+        for n in (2, 3, 4):
+            assert len(minimal_verified_uxs(n)) < len(TUNED.uxs(n))
+
+    def test_guard_rails(self):
+        from repro.core import minimal_verified_uxs
+
+        with pytest.raises(ValueError):
+            minimal_verified_uxs(0)
+        with pytest.raises(ValueError):
+            minimal_verified_uxs(9)
+
+    def test_single_node_trivial(self):
+        from repro.core import minimal_verified_uxs
+
+        assert minimal_verified_uxs(1) == ()

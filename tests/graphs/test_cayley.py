@@ -1,0 +1,72 @@
+"""Tests for abelian Cayley graphs and their rigidity property."""
+
+import pytest
+
+from repro.graphs import hypercube, oriented_ring
+from repro.graphs.cayley import cayley_abelian, cayley_coords, cayley_node
+from repro.symmetry import shrink, view_classes
+
+
+class TestConstruction:
+    def test_ring_as_cayley(self):
+        g = cayley_abelian((5,), [(1,)])
+        assert g == oriented_ring(5)
+
+    def test_hypercube_as_cayley(self):
+        # hypercube() numbers ports LSB-first; list generators in the
+        # same order (the first coordinate is the most significant).
+        g = cayley_abelian((2, 2, 2), [(0, 0, 1), (0, 1, 0), (1, 0, 0)])
+        assert g == hypercube(3)
+
+    def test_torus_shape(self):
+        g = cayley_abelian((3, 4), [(1, 0), (0, 1)])
+        assert g.n == 12 and g.is_regular() and g.max_degree == 4
+
+    def test_involution_port(self):
+        # Z_4 with the antipodal generator 2: a single self-paired port.
+        g = cayley_abelian((4,), [(1,), (2,)])
+        assert g.degree(0) == 3
+        two_step = cayley_node((2,), (4,))
+        port = next(
+            p for p in range(3) if g.succ(0, p) == two_step
+        )
+        assert g.entry_port(0, port) == port  # self-paired
+
+    def test_coords_roundtrip(self):
+        moduli = (3, 4, 2)
+        for node in range(24):
+            assert cayley_node(cayley_coords(node, moduli), moduli) == node
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="zero generator"):
+            cayley_abelian((4,), [(0,)])
+        with pytest.raises(ValueError, match="duplicates"):
+            cayley_abelian((5,), [(1,), (4,)])  # 4 = -1
+        with pytest.raises(ValueError, match=">= 2"):
+            cayley_abelian((1,), [(0,)])
+        with pytest.raises(ValueError, match="arity"):
+            cayley_abelian((4, 4), [(1,)])
+        with pytest.raises(ValueError, match="not connected"):
+            cayley_abelian((4,), [(2,)])  # 2Z_4 is a proper subgroup
+
+
+class TestRigidity:
+    """The family-wide theorem: vertex-transitive, Shrink = dist."""
+
+    @pytest.mark.parametrize(
+        "moduli,gens",
+        [
+            ((7,), [(1,)]),
+            ((6,), [(1,), (3,)]),
+            ((3, 3), [(1, 0), (0, 1)]),
+            ((4, 3), [(1, 0), (0, 1)]),
+            ((2, 2, 2), [(1, 0, 0), (0, 1, 0), (0, 0, 1)]),
+            ((9,), [(1,), (2,)]),  # circulant with chords
+        ],
+        ids=["C7", "C6+antipode", "torus33", "torus43", "cube", "circulant"],
+    )
+    def test_all_symmetric_and_shrink_is_distance(self, moduli, gens):
+        g = cayley_abelian(moduli, gens)
+        assert len(set(view_classes(g))) == 1
+        for v in range(1, min(g.n, 8)):
+            assert shrink(g, 0, v) == g.distance(0, v)

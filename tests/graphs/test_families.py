@@ -1,0 +1,130 @@
+"""Unit tests for the structured graph families."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    hypercube,
+    labeled_ring,
+    mirror_node,
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    symmetric_tree,
+    torus_node,
+    two_node_graph,
+)
+
+
+class TestRingsAndPaths:
+    def test_ring_structure(self):
+        g = oriented_ring(5)
+        assert g.n == 5 and g.is_regular() and g.max_degree == 2
+        # port 0 walks clockwise all the way around
+        assert g.apply_port_sequence(0, [0] * 5) == 0
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            oriented_ring(2)
+
+    def test_path_ports(self):
+        g = path_graph(4)
+        assert g.succ(0, 0) == 1
+        assert g.succ(1, 0) == 0 and g.succ(1, 1) == 2
+        assert g.succ(3, 0) == 2
+
+    def test_path_minimum(self):
+        with pytest.raises(ValueError):
+            path_graph(1)
+
+    def test_labeled_ring_matches_oriented_when_uniform(self):
+        uniform = labeled_ring([(0, 1)] * 5)
+        assert uniform == oriented_ring(5)
+
+    def test_labeled_ring_validation(self):
+        with pytest.raises(ValueError):
+            labeled_ring([(0, 1), (1, 0)])
+
+
+class TestTorus:
+    def test_structure(self):
+        g = oriented_torus(3, 4)
+        assert g.n == 12 and g.is_regular() and g.max_degree == 4
+
+    def test_compass_consistency(self):
+        g = oriented_torus(3, 3)
+        north, east, south, west = 0, 1, 2, 3
+        v = torus_node(1, 1, 3)
+        assert g.succ(v, north) == torus_node(0, 1, 3)
+        assert g.succ(v, south) == torus_node(2, 1, 3)
+        assert g.succ(v, east) == torus_node(1, 2, 3)
+        assert g.succ(v, west) == torus_node(1, 0, 3)
+        # N and S are paired across each edge.
+        assert g.entry_port(v, north) == south
+        assert g.entry_port(v, east) == west
+
+    def test_wraparound(self):
+        g = oriented_torus(3, 3)
+        assert g.succ(torus_node(0, 0, 3), 0) == torus_node(2, 0, 3)
+
+    def test_minimum_dims(self):
+        with pytest.raises(ValueError):
+            oriented_torus(2, 3)
+
+
+class TestSymmetricTree:
+    def test_node_count(self):
+        # arity 2, depth 2: each half has 1 + 2 + 4 = 7 nodes.
+        g = symmetric_tree(2, 2)
+        assert g.n == 14
+
+    def test_central_edge(self):
+        g = symmetric_tree(2, 2)
+        assert g.succ(0, 0) == 7
+        assert g.succ(7, 0) == 0
+
+    def test_mirror_node_involution(self):
+        for v in range(14):
+            assert mirror_node(mirror_node(v, 2, 2), 2, 2) == v
+
+    def test_leaf_degree(self):
+        g = symmetric_tree(2, 1)
+        assert g.degree(1) == 1 and g.degree(0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symmetric_tree(0, 1)
+
+
+class TestHypercubeAndComplete:
+    def test_hypercube_ports_flip_bits(self):
+        g = hypercube(3)
+        for v in range(8):
+            for i in range(3):
+                assert g.succ(v, i) == v ^ (1 << i)
+                assert g.entry_port(v, i) == i
+
+    def test_hypercube_size(self):
+        assert hypercube(4).n == 16
+
+    def test_complete_circulant(self):
+        g = complete_graph(5)
+        for i in range(5):
+            for p in range(4):
+                assert g.succ(i, p) == (i + p + 1) % 5
+
+    def test_complete_port_pairing(self):
+        g = complete_graph(5)
+        # port p at i pairs with port n - 2 - p at the other end
+        for p in range(4):
+            assert g.entry_port(0, p) == 5 - 2 - p
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert all(g.degree(leaf) == 1 for leaf in range(1, 5))
+        assert g.succ(3, 0) == 0 and g.entry_port(3, 0) == 2
+
+    def test_two_node(self):
+        assert two_node_graph().n == 2

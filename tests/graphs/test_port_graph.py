@@ -1,0 +1,166 @@
+"""Unit tests for the port-labeled graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    PortLabeledGraph,
+    from_adjacency,
+    from_edge_pairs,
+    from_networkx,
+    oriented_ring,
+    path_graph,
+    relabel_ports,
+    two_node_graph,
+)
+
+
+class TestConstruction:
+    def test_two_node(self):
+        g = two_node_graph()
+        assert g.n == 2
+        assert g.degree(0) == g.degree(1) == 1
+        assert g.succ(0, 0) == 1
+        assert g.succ(1, 0) == 0
+
+    def test_entry_ports_are_consistent(self):
+        g = oriented_ring(5)
+        for v in range(5):
+            for p in range(g.degree(v)):
+                w = g.succ(v, p)
+                q = g.entry_port(v, p)
+                assert g.succ(w, q) == v
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PortLabeledGraph(2, [(0, 0, 0, 1), (0, 2, 1, 0)])
+
+    def test_rejects_duplicate_port(self):
+        with pytest.raises(ValueError, match="assigned twice"):
+            PortLabeledGraph(3, [(0, 0, 1, 0), (0, 0, 2, 0)])
+
+    def test_rejects_port_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            PortLabeledGraph(2, [(0, 1, 1, 0)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="not connected"):
+            PortLabeledGraph(4, [(0, 0, 1, 0), (2, 0, 3, 0)])
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(ValueError, match="parallel edge"):
+            PortLabeledGraph(2, [(0, 0, 1, 0), (0, 1, 1, 1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PortLabeledGraph(0, [])
+
+    def test_malformed_edge_tuple(self):
+        with pytest.raises(ValueError, match="edge must be"):
+            PortLabeledGraph(2, [(0, 0, 1)])  # type: ignore[list-item]
+
+
+class TestNavigation:
+    def test_apply_port_sequence_ring(self):
+        g = oriented_ring(6)
+        assert g.apply_port_sequence(0, [0, 0, 0]) == 3
+        assert g.apply_port_sequence(0, [1, 1]) == 4
+        assert g.apply_port_sequence(2, [0, 1]) == 2
+
+    def test_apply_invalid_port_raises(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="port"):
+            g.apply_port_sequence(0, [1])
+
+    def test_walk_returns_all_nodes(self):
+        g = oriented_ring(4)
+        assert g.walk(0, [0, 0, 0, 0]) == [0, 1, 2, 3, 0]
+
+    def test_reverse_ports_roundtrip(self):
+        g = path_graph(5)
+        alpha = (1, 1, 1)  # 0 -> 1 -> 2 -> 3 (via "right" ports)
+        end = g.apply_port_sequence(1, alpha)
+        back = g.reverse_ports(1, alpha)
+        assert g.apply_port_sequence(end, back) == 1
+
+    def test_reverse_ports_empty(self):
+        g = path_graph(3)
+        assert g.reverse_ports(0, ()) == ()
+
+    def test_distances(self):
+        g = path_graph(5)
+        assert list(g.distances_from(0)) == [0, 1, 2, 3, 4]
+        assert g.distance(1, 4) == 3
+
+    def test_neighbors_in_port_order(self):
+        g = oriented_ring(5)
+        assert g.neighbors(0) == [1, 4]
+
+
+class TestExportAndEquality:
+    def test_to_networkx_roundtrip(self):
+        g = oriented_ring(6)
+        nx_graph = g.to_networkx()
+        back = from_networkx(nx_graph)
+        assert back == g
+
+    def test_equality_ignores_edge_order(self):
+        e = [(0, 0, 1, 0), (1, 1, 2, 0)]
+        a = PortLabeledGraph(3, e)
+        b = PortLabeledGraph(3, list(reversed(e)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_ports(self):
+        a = path_graph(3)
+        b = relabel_ports(a, {1: {0: 1, 1: 0}})
+        assert a != b
+
+    def test_is_regular(self):
+        assert oriented_ring(5).is_regular()
+        assert not path_graph(3).is_regular()
+
+    def test_succ_arrays_shapes(self):
+        g = path_graph(4)
+        assert g.succ_node_array.shape == (4, 2)
+        assert g.succ_port_array.shape == (4, 2)
+        assert g.succ_node_array[0, 1] == -1  # endpoint has degree 1
+
+    def test_degrees_vector(self):
+        g = path_graph(4)
+        assert list(g.degrees) == [1, 2, 2, 1]
+        assert g.max_degree == 2
+
+
+class TestBuilders:
+    def test_from_adjacency(self):
+        g = from_adjacency({0: [1, 2], 1: [0], 2: [0]})
+        assert g.n == 3
+        assert g.succ(0, 0) == 1
+        assert g.succ(0, 1) == 2
+
+    def test_from_adjacency_inconsistent(self):
+        with pytest.raises(ValueError, match="reverse"):
+            from_adjacency({0: [1], 1: []})
+
+    def test_from_adjacency_duplicate_neighbor(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            from_adjacency({0: [1, 1], 1: [0, 0]})
+
+    def test_from_edge_pairs_port_order(self):
+        g = from_edge_pairs(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.succ(0, 0) == 1  # first incident edge of 0
+        assert g.succ(0, 1) == 2  # second incident edge of 0
+
+    def test_relabel_ports_preserves_structure(self):
+        g = oriented_ring(4)
+        flipped = relabel_ports(g, {0: {0: 1, 1: 0}})
+        assert flipped.n == g.n
+        assert flipped.succ(0, 1) == g.succ(0, 0)
+
+    def test_from_networkx_plain(self):
+        import networkx as nx
+
+        g = from_networkx(nx.cycle_graph(5))
+        assert g.n == 5
+        assert g.is_regular()

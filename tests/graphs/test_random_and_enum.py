@@ -1,0 +1,69 @@
+"""Tests for random graph generation and exhaustive enumeration."""
+
+import pytest
+
+from repro.graphs import random_connected_graph, random_tree
+from repro.graphs.enumeration import (
+    connected_edge_sets,
+    count_port_labeled_graphs,
+    enumerate_port_labeled_graphs,
+)
+from repro.util.lcg import SplitMix64
+from repro.graphs.random_graphs import random_port_permutation
+
+
+class TestRandomGraphs:
+    def test_tree_has_n_minus_one_edges(self):
+        g = random_tree(10, seed=3)
+        assert g.n == 10 and len(g.edges) == 9
+
+    def test_deterministic_by_seed(self):
+        assert random_tree(8, seed=5) == random_tree(8, seed=5)
+        assert random_tree(8, seed=5) != random_tree(8, seed=6)
+
+    def test_connected_graph_edge_budget(self):
+        g = random_connected_graph(8, extra_edges=4, seed=1)
+        assert g.n == 8 and len(g.edges) == 7 + 4
+
+    def test_extra_edges_clamped(self):
+        # n=4 has at most 6 edges; asking for more must clamp, not hang.
+        g = random_connected_graph(4, extra_edges=100, seed=2)
+        assert len(g.edges) == 6
+
+    def test_validates(self):
+        # Construction goes through PortLabeledGraph validation; a pass
+        # means ports are a permutation at every node and it's connected.
+        for seed in range(10):
+            random_connected_graph(7, extra_edges=3, seed=seed)
+
+    def test_port_permutation_is_permutation(self):
+        rng = SplitMix64(9)
+        for d in (1, 2, 5, 9):
+            assert sorted(random_port_permutation(d, rng)) == list(range(d))
+
+
+class TestEnumeration:
+    def test_counts(self):
+        # n=3: path (3 labelings of the center-as-each-node x 2 port
+        # orders = 6) + triangle (2^3 port orders = 8) = 14.
+        assert count_port_labeled_graphs(1) == 1
+        assert count_port_labeled_graphs(2) == 1
+        assert count_port_labeled_graphs(3) == 14
+
+    def test_connected_edge_sets_n3(self):
+        sets = list(connected_edge_sets(3))
+        assert len(sets) == 4  # 3 paths + 1 triangle
+
+    def test_all_enumerated_are_valid(self):
+        for g in enumerate_port_labeled_graphs(3):
+            # Re-validate explicitly (enumeration skips validation for speed).
+            g._validate_simple()
+            g._validate_connected()
+
+    def test_enumeration_guard(self):
+        with pytest.raises(ValueError):
+            list(enumerate_port_labeled_graphs(6))
+
+    def test_no_duplicates(self):
+        graphs = list(enumerate_port_labeled_graphs(3))
+        assert len({hash(g) for g in graphs}) == len(graphs)

@@ -1,0 +1,52 @@
+"""Batch oblivious simulation must agree with the scalar reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness import build_qhat, dedicated_word, simulate_word, z_set
+from repro.hardness.batch import simulate_word_batch
+from repro.hardness.qtree import E, N, S, W
+from repro.graphs import oriented_torus
+
+
+class TestAgainstScalar:
+    def test_dedicated_word_on_qhat(self):
+        k = 1
+        graph, tree = build_qhat(4 * k)
+        word = dedicated_word(k)
+        members = z_set(tree, k)
+        starts = [m.node for m in members]
+        horizon = 10 * len(word)
+        batch = simulate_word_batch(graph, word, tree.root, starts, 2 * k, horizon)
+        scalar = [
+            simulate_word(graph, word, tree.root, v, 2 * k, horizon).meeting_time
+            for v in starts
+        ]
+        assert batch == scalar
+
+    @given(
+        word=st.lists(
+            st.sampled_from([N, E, S, W, -1]), min_size=1, max_size=20
+        ),
+        delta=st.integers(0, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_words_on_torus(self, word, delta):
+        g = oriented_torus(3, 3)
+        word = tuple(word)
+        starts = list(range(1, 9))
+        horizon = 60
+        batch = simulate_word_batch(g, word, 0, starts, delta, horizon)
+        for v, got in zip(starts, batch):
+            ref = simulate_word(g, word, 0, v, delta, horizon).meeting_time
+            assert got == ref, (word, delta, v)
+
+    def test_empty_batch(self):
+        g = oriented_torus(3, 3)
+        assert simulate_word_batch(g, (N,), 0, [], 0, 10) == []
+
+    def test_never_meeting(self):
+        g = oriented_torus(3, 3)
+        # Pure STAY word and distinct starts: nobody ever meets.
+        out = simulate_word_batch(g, (-1,), 0, [1, 2], 0, 30)
+        assert out == [None, None]

@@ -1,0 +1,109 @@
+"""Tests for the Section 4 construction: Q_h and Q̂_h."""
+
+import pytest
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.hardness import (
+    E,
+    N,
+    S,
+    W,
+    build_qhat,
+    build_qtree,
+    opposite,
+    qhat_size,
+)
+from repro.symmetry import view_classes
+
+
+class TestQTree:
+    def test_counts(self):
+        for h in (1, 2, 3):
+            tree = build_qtree(h)
+            assert tree.n == 1 + 4 * (3**h - 1) // 2
+            leaves = sum(len(v) for v in tree.leaves_by_type.values())
+            assert leaves == 4 * 3 ** (h - 1)
+            for t in (N, E, S, W):
+                assert len(tree.leaves_by_type[t]) == 3 ** (h - 1)
+
+    def test_all_leaves_at_depth_h(self):
+        tree = build_qtree(3)
+        for v, t in tree.leaf_type.items():
+            assert tree.depth[v] == 3
+            # the leaf's single (letter) port is its parent port
+            assert tree.parent[v][2] == t
+
+    def test_edge_port_pairing(self):
+        tree = build_qtree(2)
+        for v in range(1, tree.n):
+            _parent, port_at_parent, port_at_v = tree.parent[v]
+            assert port_at_v == opposite(port_at_parent)
+
+    def test_internal_nodes_have_all_four_ports(self):
+        tree = build_qtree(3)
+        for v in range(tree.n):
+            if tree.is_leaf(v):
+                continue
+            ports = set(tree.children[v])
+            if tree.parent[v] is not None:
+                ports.add(tree.parent[v][2])
+            assert ports == {N, E, S, W}
+
+    def test_follow(self):
+        tree = build_qtree(2)
+        v = tree.follow(tree.root, (N, N))
+        assert tree.depth[v] == 2
+        assert tree.follow(v, (S, S)) == tree.root
+
+    def test_follow_invalid_port_at_leaf(self):
+        tree = build_qtree(1)
+        leaf = tree.children[0][N]
+        with pytest.raises(ValueError):
+            tree.follow(leaf, (N,))  # only S (back up) exists at an N-child
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_qtree(0)
+
+    def test_opposite(self):
+        assert opposite(N) == S and opposite(S) == N
+        assert opposite(E) == W and opposite(W) == E
+
+
+class TestQHat:
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_legal_regular_graph(self, h):
+        graph, tree = build_qhat(h)
+        assert isinstance(graph, PortLabeledGraph)
+        assert graph.n == qhat_size(h) == tree.n
+        assert graph.is_regular() and graph.max_degree == 4
+
+    def test_edge_port_families(self):
+        graph, _ = build_qhat(2)
+        for _u, pu, _v, pv in graph.edges:
+            assert pv == opposite(pu)
+            assert {pu, pv} in ({N, S}, {E, W})
+
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_all_views_identical(self, h):
+        # The paper: "the view of each node of Q̂_h is identical, and
+        # hence all pairs of nodes are symmetric."
+        graph, _ = build_qhat(h)
+        assert len(set(view_classes(graph))) == 1
+
+    def test_tree_edges_preserved(self):
+        graph, tree = build_qhat(2)
+        # Walking N from the root must match the tree child.
+        assert graph.succ(tree.root, N) == tree.children[tree.root][N]
+
+    def test_pairing_edges(self):
+        graph, tree = build_qhat(2)
+        n1 = tree.leaves_by_type[N][0]
+        s1 = tree.leaves_by_type[S][0]
+        # Edge N_i - S_i with port S at N_i and port N at S_i.
+        assert graph.succ(n1, S) == s1
+        assert graph.succ(s1, N) == n1
+
+    def test_h1_rejected(self):
+        with pytest.raises(ValueError):
+            build_qhat(1)

@@ -1,0 +1,33 @@
+"""Tests for the Fig. 1 text rendering."""
+
+from repro.hardness.qtree import build_qtree
+from repro.hardness.render import render_fig1, render_qhat_extras, render_qtree
+
+
+class TestRender:
+    def test_qtree_mentions_all_nodes(self):
+        tree = build_qtree(2)
+        out = render_qtree(tree)
+        for v in range(tree.n):
+            assert f" {v}" in out
+
+    def test_leaf_types_annotated(self):
+        out = render_qtree(build_qtree(2))
+        for t in ("N-type", "E-type", "S-type", "W-type"):
+            assert t in out
+
+    def test_elision_for_large_trees(self):
+        out = render_qtree(build_qtree(5), max_nodes=20)
+        assert "elided" in out
+
+    def test_extras_structure(self):
+        out = render_qhat_extras(2)
+        assert "pairing edges" in out
+        assert out.count("cycle") >= 4
+        # x = 3 leaves per type at h=2 -> 6 pairing edges
+        assert out.count("--S/N--") == 3
+        assert out.count("--W/E--") == 3
+
+    def test_fig1_combined(self):
+        out = render_fig1(2)
+        assert "Q_2" in out and "Q-hat_2" in out

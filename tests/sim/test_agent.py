@@ -1,0 +1,105 @@
+"""Unit tests for agent-program combinators and traces."""
+
+import pytest
+
+from repro.graphs import oriented_ring, path_graph
+from repro.sim import (
+    Move,
+    Wait,
+    WaitBlock,
+    follow_ports,
+    move_once,
+    run_single_agent,
+    wait_rounds,
+)
+from repro.sim.actions import Perception
+from repro.sim.trace import AgentTrace, TraceEntry
+
+
+class TestActions:
+    def test_move_validates(self):
+        with pytest.raises(ValueError):
+            Move(-1)
+
+    def test_waitblock_validates(self):
+        with pytest.raises(ValueError):
+            WaitBlock(0)
+
+    def test_actions_are_values(self):
+        assert Move(2) == Move(2)
+        assert Wait() == Wait()
+        assert WaitBlock(5) == WaitBlock(5)
+
+
+class TestSubroutines:
+    def test_follow_ports(self):
+        g = oriented_ring(5)
+
+        def algorithm(percept):
+            percept = yield from follow_ports(percept, [0, 0, 1])
+            return percept
+
+        visited, final = run_single_agent(g, 0, algorithm, max_rounds=10)
+        assert visited == [0, 1, 2, 1]
+        assert final == 1
+
+    def test_move_once_validates_against_degree(self):
+        g = path_graph(3)
+
+        def algorithm(percept):
+            percept = yield from move_once(percept, 1)  # invalid at an end
+            return percept
+
+        with pytest.raises(ValueError, match="degree"):
+            run_single_agent(g, 0, algorithm, max_rounds=5)
+
+    def test_wait_rounds_zero_is_noop(self):
+        g = path_graph(3)
+
+        def algorithm(percept):
+            percept = yield from wait_rounds(percept, 0)
+            percept = yield from move_once(percept, 0)
+            return percept
+
+        visited, _ = run_single_agent(g, 0, algorithm, max_rounds=5)
+        assert visited == [0, 1]
+
+    def test_wait_rounds_negative_raises(self):
+        g = path_graph(3)
+
+        def algorithm(percept):
+            percept = yield from wait_rounds(percept, -1)
+            return percept
+
+        with pytest.raises(ValueError):
+            run_single_agent(g, 0, algorithm, max_rounds=5)
+
+    def test_wait_rounds_duration(self):
+        g = path_graph(3)
+
+        def algorithm(percept):
+            percept = yield from wait_rounds(percept, 7)
+            return percept
+
+        visited, _ = run_single_agent(g, 0, algorithm, max_rounds=20)
+        assert visited == [0] * 8
+
+
+class TestTrace:
+    def test_port_history_skips_waits(self):
+        trace = AgentTrace(start_node=0, start_time=0)
+        trace.entries.append(TraceEntry(0, 0, Move(1), 0))
+        trace.entries.append(TraceEntry(1, 5, Wait(), None))
+        trace.entries.append(TraceEntry(2, 5, Move(0), 2))
+        assert trace.port_history() == [(1, 0), (0, 2)]
+
+    def test_nodes_visited(self):
+        trace = AgentTrace(start_node=3, start_time=1)
+        trace.entries.append(TraceEntry(1, 3, Move(0), 1))
+        trace.entries.append(TraceEntry(2, 4, Wait(), None))
+        assert trace.nodes_visited() == [3, 4]
+
+    def test_perception_is_frozen(self):
+        p = Perception(degree=2, entry_port=None, clock=0)
+        with pytest.raises(AttributeError):
+            p.degree = 3  # type: ignore[misc]

@@ -1,0 +1,216 @@
+"""Unit tests for the synchronous two-agent scheduler."""
+
+import pytest
+
+from repro.graphs import oriented_ring, path_graph, two_node_graph
+from repro.sim import (
+    Move,
+    Perception,
+    SimulationLimit,
+    Wait,
+    WaitBlock,
+    run_rendezvous,
+    run_single_agent,
+    wait_forever,
+)
+
+
+def always_move(port=0):
+    def algorithm(percept):
+        while True:
+            percept = yield Move(port)
+
+    return algorithm
+
+
+def always_wait(percept):
+    while True:
+        percept = yield Wait()
+
+
+class TestMeetingSemantics:
+    def test_two_node_delay_breaks_symmetry(self):
+        # The introduction's example: "move every round" meets with an
+        # odd delay on the 2-node graph...
+        g = two_node_graph()
+        r = run_rendezvous(g, 0, 1, 1, always_move(), max_rounds=100)
+        assert r.met and r.meeting_time == 1 and r.time_from_later == 0
+
+    def test_two_node_delay_zero_never_meets_but_crosses(self):
+        g = two_node_graph()
+        r = run_rendezvous(g, 0, 1, 0, always_move(), max_rounds=50)
+        assert not r.met
+        # They swap endpoints every round: a crossing per round.
+        assert len(r.crossings) == 50
+
+    def test_delay_three_meets(self):
+        # Paper: "If identical agents start in this graph with delay 3,
+        # executing 'move at each round', they meet 3 rounds after the
+        # start of the earlier agent."
+        g = two_node_graph()
+        r = run_rendezvous(g, 0, 1, 3, always_move(), max_rounds=100)
+        assert r.met and r.meeting_time == 3
+
+    def test_even_delay_two_node_never_meets(self):
+        g = two_node_graph()
+        r = run_rendezvous(g, 0, 1, 2, always_move(), max_rounds=60)
+        assert not r.met
+
+    def test_meeting_at_later_agents_wakeup(self):
+        # Agent A walks to v and waits; B appears at v at round delta.
+        g = path_graph(3)
+
+        def algorithm(percept):
+            if percept.degree == 1:  # the endpoint agent walks inward
+                percept = yield Move(0)
+            yield from wait_forever(percept)
+
+        r = run_rendezvous(g, 0, 1, 5, algorithm, max_rounds=50)
+        assert r.met and r.meeting_time == 5 and r.time_from_later == 0
+
+    def test_waiters_never_meet(self):
+        g = oriented_ring(4)
+        r = run_rendezvous(g, 0, 2, 1, always_wait, max_rounds=1000)
+        assert not r.met and r.rounds_executed == 1000
+
+    def test_crossing_is_not_meeting(self):
+        g = path_graph(2)
+        r = run_rendezvous(g, 0, 1, 0, always_move(), max_rounds=9)
+        assert not r.met
+        assert r.crossings == tuple(range(9))
+
+    def test_raise_on_limit(self):
+        g = oriented_ring(4)
+        with pytest.raises(SimulationLimit):
+            run_rendezvous(
+                g, 0, 2, 0, always_wait, max_rounds=10, raise_on_limit=True
+            )
+
+
+class TestClockAndPerception:
+    def test_clocks_are_local(self):
+        observed = []
+
+        def algorithm(percept):
+            for _ in range(3):
+                observed.append(percept.clock)
+                percept = yield Wait()
+
+        g = oriented_ring(4)
+        run_rendezvous(g, 0, 2, 2, algorithm, max_rounds=10)
+        # Both agents see clocks 0,1,2 regardless of delay.
+        assert observed == [0, 1, 2, 0, 1, 2]
+
+    def test_entry_port_sticky_across_waits(self):
+        seen = []
+
+        def algorithm(percept):
+            percept = yield Move(0)
+            seen.append(percept.entry_port)
+            percept = yield Wait()
+            seen.append(percept.entry_port)
+            yield from wait_forever(percept)
+
+        g = oriented_ring(5)
+        run_rendezvous(g, 0, 2, 0, algorithm, max_rounds=10)
+        assert seen[0] == 1  # entered clockwise neighbor via its port 1
+        assert seen[1] == 1  # wait does not erase it
+
+    def test_initial_perception(self):
+        boxes = []
+
+        def algorithm(percept):
+            boxes.append(percept)
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        run_rendezvous(g, 0, 2, 0, algorithm, max_rounds=3)
+        assert boxes[0] == Perception(degree=1, entry_port=None, clock=0)
+
+    def test_invalid_port_raises(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="chose port"):
+            run_rendezvous(g, 0, 2, 0, always_move(5), max_rounds=5)
+
+
+class TestWaitBlockFastForward:
+    def test_long_waits_are_cheap_and_exact(self):
+        # A billion-round mutual wait must finish instantly and report
+        # exact round accounting.
+        def algorithm(percept):
+            percept = yield WaitBlock(10**9)
+            percept = yield Move(0)
+            yield from wait_forever(percept)
+
+        g = two_node_graph()
+        r = run_rendezvous(g, 0, 1, 1, algorithm, max_rounds=3 * 10**9)
+        # A moves at its round 1e9 (global 1e9); B moves at global 1e9+1.
+        # A is at node 1 from global 1e9+1 onwards, B moves to node 0...
+        # then both wait forever at swapped nodes: the crossing round is
+        # the only interaction. Verify accounting only:
+        assert r.rounds_executed <= 3 * 10**9
+        assert len(r.crossings) in (0, 1)
+
+    def test_fast_forward_stops_at_wakeup(self):
+        # The later agent must wake exactly at round delta even if the
+        # earlier agent is inside a huge wait block.
+        met_at = []
+
+        def algorithm(percept):
+            if percept.clock == 0 and percept.degree == 1:
+                pass
+            percept = yield WaitBlock(10**6)
+            yield from wait_forever(percept)
+
+        g = two_node_graph()
+        r = run_rendezvous(g, 0, 1, 999, algorithm, max_rounds=10**7)
+        assert not r.met  # both wait at their own nodes
+
+    def test_mixed_wait_and_move(self):
+        # One agent waits in a block while the other walks into it.
+        def algorithm(percept):
+            if percept.degree == 2:  # middle starter waits
+                yield from wait_forever(percept)
+            percept = yield WaitBlock(3)
+            percept = yield Move(0)
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        r = run_rendezvous(g, 0, 1, 0, algorithm, max_rounds=100)
+        assert r.met and r.meeting_time == 4 and r.meeting_node == 1
+
+
+class TestSingleAgent:
+    def test_visited_counts_rounds(self):
+        g = oriented_ring(4)
+
+        def algorithm(percept):
+            percept = yield Move(0)
+            percept = yield Wait()
+            percept = yield Move(0)
+            return percept
+
+        visited, final = run_single_agent(g, 0, algorithm, max_rounds=10)
+        assert visited == [0, 1, 1, 2]
+        assert final == 2
+
+    def test_waitblock_expansion_truncated(self):
+        g = oriented_ring(4)
+
+        def algorithm(percept):
+            percept = yield WaitBlock(100)
+            return percept
+
+        visited, final = run_single_agent(g, 0, algorithm, max_rounds=5)
+        assert visited == [0] * 6 and final == 0
+
+    def test_traces_recorded(self):
+        g = two_node_graph()
+        r = run_rendezvous(
+            g, 0, 1, 1, always_move(), max_rounds=10, record_traces=True
+        )
+        assert r.traces is not None
+        trace_a, trace_b = r.traces
+        assert trace_a.start_node == 0 and trace_b.start_node == 1
+        assert trace_a.entries[0].time == 0
+        assert trace_a.port_history()[0] == (0, 0)

@@ -1,0 +1,146 @@
+"""Differential test: the production scheduler (with wait-block
+fast-forwarding) against a deliberately naive round-by-round reference.
+
+The naive scheduler expands every WaitBlock into single waits and
+advances one global round per iteration — slow but obviously correct.
+Random agent programs (seeded mixes of moves, waits, and wait blocks)
+must produce byte-identical outcomes under both."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import oriented_ring, oriented_torus, path_graph
+from repro.graphs.random_graphs import random_connected_graph
+from repro.sim import Move, Wait, WaitBlock, run_rendezvous
+from repro.sim.actions import Perception
+from repro.util.lcg import SplitMix64
+
+
+def naive_run(graph, u, v, delta, algorithm, max_rounds):
+    """Reference scheduler: no fast-forward, no wait batching."""
+    nodes = [u, v]
+    starts = [0, delta]
+    scripts = [None, None]
+    started = [False, False]
+    done = [False, False]
+    entry = [None, None]
+    pending = [0, 0]
+    crossings = []
+
+    def percept(i, time):
+        return Perception(
+            degree=graph.degree(nodes[i]),
+            entry_port=entry[i],
+            clock=time - starts[i],
+        )
+
+    for i in (0, 1):
+        if starts[i] == 0:
+            scripts[i] = algorithm(percept(i, 0))
+    if nodes[0] == nodes[1] and delta == 0:
+        return (True, 0, nodes[0], tuple(crossings))
+
+    for time in range(max_rounds):
+        moves = [None, None]
+        for i in (0, 1):
+            if time < starts[i] or done[i]:
+                continue
+            if pending[i] > 0:
+                pending[i] -= 1
+                continue
+            try:
+                if not started[i]:
+                    started[i] = True
+                    action = next(scripts[i])
+                else:
+                    action = scripts[i].send(percept(i, time))
+            except StopIteration:
+                done[i] = True
+                continue
+            if isinstance(action, Move):
+                moves[i] = action
+            elif isinstance(action, Wait):
+                pass
+            elif isinstance(action, WaitBlock):
+                pending[i] = action.rounds - 1
+        if moves[0] is not None and moves[1] is not None:
+            a_to = graph.succ(nodes[0], moves[0].port)
+            b_to = graph.succ(nodes[1], moves[1].port)
+            if a_to == nodes[1] and b_to == nodes[0] and nodes[0] != nodes[1]:
+                crossings.append(time)
+        for i in (0, 1):
+            if time < starts[i]:
+                continue
+            if moves[i] is not None:
+                entry[i] = graph.entry_port(nodes[i], moves[i].port)
+                nodes[i] = graph.succ(nodes[i], moves[i].port)
+        next_time = time + 1
+        if next_time == delta:
+            scripts[1] = algorithm(percept(1, next_time))
+        if next_time >= delta and nodes[0] == nodes[1]:
+            return (True, next_time, nodes[0], tuple(crossings))
+    return (False, None, None, tuple(crossings))
+
+
+def seeded_agent(seed):
+    """A pseudo-random deterministic agent program."""
+
+    def algorithm(percept):
+        rng = SplitMix64(seed)
+        while True:
+            roll = rng.randrange(10)
+            if roll < 5:
+                percept = yield Move(rng.randrange(percept.degree))
+            elif roll < 7:
+                percept = yield Wait()
+            elif roll < 9:
+                percept = yield WaitBlock(rng.randrange(7) + 1)
+            else:
+                # clock-dependent choice exercises perception delivery
+                percept = yield Move(percept.clock % percept.degree)
+
+    return algorithm
+
+
+GRAPHS = [
+    path_graph(4),
+    oriented_ring(5),
+    oriented_torus(3, 3),
+    random_connected_graph(6, 3, seed=4),
+]
+
+
+@given(
+    graph_idx=st.integers(0, len(GRAPHS) - 1),
+    u=st.integers(0, 3),
+    v=st.integers(0, 3),
+    delta=st.integers(0, 6),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=120, deadline=None)
+def test_production_matches_naive(graph_idx, u, v, delta, seed):
+    graph = GRAPHS[graph_idx]
+    u %= graph.n
+    v %= graph.n
+    if u == v:
+        v = (v + 1) % graph.n
+    algorithm = seeded_agent(seed)
+    horizon = 300
+    fast = run_rendezvous(graph, u, v, delta, algorithm, max_rounds=horizon)
+    slow = naive_run(graph, u, v, delta, seeded_agent(seed), horizon)
+    assert (fast.met, fast.meeting_time, fast.meeting_node) == slow[:3]
+    assert fast.crossings == slow[3]
+
+
+def test_pure_waiter_equivalence():
+    """All-wait programs exercise the fast-forward path exclusively."""
+
+    def waiter(percept):
+        while True:
+            percept = yield WaitBlock(13)
+
+    g = oriented_ring(5)
+    fast = run_rendezvous(g, 0, 2, 3, waiter, max_rounds=200)
+    slow = naive_run(g, 0, 2, 3, waiter, 200)
+    assert not fast.met and not slow[0]
+    assert fast.rounds_executed == 200

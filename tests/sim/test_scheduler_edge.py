@@ -1,0 +1,111 @@
+"""Scheduler edge cases: oracle plumbing, extreme delays, validation."""
+
+import pytest
+
+from repro.graphs import oriented_ring, path_graph, two_node_graph
+from repro.sim import Move, Wait, run_rendezvous, wait_forever
+
+
+class TestOraclePlumbing:
+    def test_per_agent_oracles_delivered(self):
+        received = []
+
+        def algorithm(percept, oracle):
+            received.append(oracle)
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        run_rendezvous(
+            g, 0, 2, 1, algorithm, max_rounds=10, oracles=("left", "right")
+        )
+        assert received == ["left", "right"]
+
+    def test_no_oracles_single_arg(self):
+        def algorithm(percept):
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        result = run_rendezvous(g, 0, 2, 0, algorithm, max_rounds=5)
+        assert not result.met
+
+
+class TestExtremeDelays:
+    def test_delay_beyond_horizon(self):
+        def algorithm(percept):
+            yield from wait_forever(percept)
+
+        g = two_node_graph()
+        result = run_rendezvous(g, 0, 1, 100, algorithm, max_rounds=50)
+        assert not result.met and result.rounds_executed == 50
+
+    def test_huge_delay_with_fast_forward(self):
+        # Earlier agent waits forever; later agent appears after 10^7
+        # rounds on the earlier agent's node: meeting at exactly delta.
+        def algorithm(percept):
+            if percept.degree == 2:
+                percept = yield Move(0)  # middle walks to node 0 and stays
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        delta = 10**7
+        result = run_rendezvous(g, 1, 0, delta, algorithm, max_rounds=delta + 10)
+        # agent 0 starts at node 1 (degree 2), moves to node 0, waits;
+        # agent 1 appears at node 0 at round delta.
+        assert result.met and result.meeting_time == delta
+
+    def test_zero_max_rounds(self):
+        def algorithm(percept):
+            yield from wait_forever(percept)
+
+        g = two_node_graph()
+        result = run_rendezvous(g, 0, 1, 0, algorithm, max_rounds=0)
+        assert not result.met and result.rounds_executed == 0
+
+
+class TestValidation:
+    def test_negative_delay(self):
+        def algorithm(percept):
+            yield Wait()
+
+        with pytest.raises(ValueError):
+            run_rendezvous(two_node_graph(), 0, 1, -1, algorithm, max_rounds=5)
+
+    def test_bad_action_type(self):
+        def algorithm(percept):
+            yield "north"  # type: ignore[misc]
+
+        with pytest.raises(TypeError):
+            run_rendezvous(two_node_graph(), 0, 1, 0, algorithm, max_rounds=5)
+
+    def test_script_exception_propagates(self):
+        def algorithm(percept):
+            yield Wait()
+            raise RuntimeError("agent crashed")
+
+        with pytest.raises(RuntimeError, match="agent crashed"):
+            run_rendezvous(oriented_ring(4), 0, 2, 0, algorithm, max_rounds=5)
+
+
+class TestFinishedAgents:
+    def test_finished_agent_waits_in_place(self):
+        # Agent 0's script ends immediately; agent 1 walks into it.
+        def algorithm(percept):
+            if percept.degree == 1:
+                return
+            percept = yield Move(0)
+            yield from wait_forever(percept)
+
+        g = path_graph(3)
+        result = run_rendezvous(g, 0, 1, 0, algorithm, max_rounds=20)
+        assert result.met and result.meeting_node == 0
+        assert result.meeting_time == 1
+
+    def test_both_finished_fast_forward(self):
+        def algorithm(percept):
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        g = oriented_ring(4)
+        result = run_rendezvous(g, 0, 2, 0, algorithm, max_rounds=10**9)
+        assert not result.met
+        assert result.rounds_executed == 10**9

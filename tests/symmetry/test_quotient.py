@@ -1,0 +1,103 @@
+"""Tests for quotient graphs and port-preserving automorphisms."""
+
+from repro.graphs import (
+    complete_graph,
+    hypercube,
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    symmetric_tree,
+    two_node_graph,
+)
+from repro.symmetry import view_classes
+from repro.symmetry.quotient import port_automorphisms, quotient_graph
+
+
+class TestQuotient:
+    def test_vertex_transitive_collapses_to_point(self):
+        for g in (oriented_ring(6), oriented_torus(3, 3), hypercube(3)):
+            q = quotient_graph(g)
+            assert q.classes == 1
+            assert q.degree_of[0] == g.degree(0)
+
+    def test_asymmetric_graph_is_its_own_quotient(self):
+        g = star_graph(3)
+        q = quotient_graph(g)
+        assert q.is_trivial()
+        assert q.classes == g.n
+
+    def test_mirror_tree_halves(self):
+        g = symmetric_tree(2, 1)
+        q = quotient_graph(g)
+        assert q.classes == g.n // 2  # each node merged with its mirror
+
+    def test_transitions_consistent_with_graph(self):
+        g = path_graph(4)
+        q = quotient_graph(g)
+        for v in range(g.n):
+            c = q.color_of[v]
+            for p in range(g.degree(v)):
+                entry, target = q.transitions[c][p]
+                assert entry == g.entry_port(v, p)
+                assert target == q.color_of[g.succ(v, p)]
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self):
+        for g in (path_graph(3), star_graph(3), oriented_ring(4)):
+            autos = port_automorphisms(g)
+            assert tuple(range(g.n)) in autos
+
+    def test_oriented_ring_rotations(self):
+        g = oriented_ring(5)
+        autos = port_automorphisms(g)
+        # exactly the 5 rotations (reflections break port orientation)
+        assert len(autos) == 5
+        for shift in range(5):
+            assert tuple((v + shift) % 5 for v in range(5)) in autos
+
+    def test_hypercube_translations(self):
+        g = hypercube(3)
+        autos = port_automorphisms(g)
+        # XOR translations preserve dimension ports: at least 2^3 maps.
+        assert len(autos) >= 8
+        for mask in range(8):
+            assert tuple(v ^ mask for v in range(8)) in autos
+
+    def test_asymmetric_graph_rigid(self):
+        assert port_automorphisms(star_graph(3)) == [tuple(range(4))]
+
+    def test_automorphic_implies_symmetric(self):
+        for g in (oriented_torus(3, 3), symmetric_tree(2, 1), complete_graph(4)):
+            colors = view_classes(g)
+            for phi in port_automorphisms(g):
+                for v in range(g.n):
+                    assert colors[v] == colors[phi[v]]
+
+    def test_two_node_swap(self):
+        autos = port_automorphisms(two_node_graph())
+        assert (1, 0) in autos and (0, 1) in autos
+
+
+class TestAlternatingRing:
+    """The alternating-port 6-ring: a transitive instance whose
+    symmetry comes from reflections + even rotations (dihedral-ish),
+    exercising automorphisms beyond pure rotations."""
+
+    def test_single_view_class(self):
+        from repro.graphs import labeled_ring
+
+        g = labeled_ring([(0, 1), (1, 0)] * 3)
+        from repro.symmetry import view_classes
+
+        assert len(set(view_classes(g))) == 1
+
+    def test_automorphism_group_is_transitive(self):
+        from repro.graphs import labeled_ring
+
+        g = labeled_ring([(0, 1), (1, 0)] * 3)
+        autos = port_automorphisms(g)
+        assert len(autos) == 6
+        images_of_0 = {phi[0] for phi in autos}
+        assert images_of_0 == set(range(6))

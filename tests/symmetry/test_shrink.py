@@ -1,0 +1,105 @@
+"""Unit tests for Shrink (Definition 3.1)."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    hypercube,
+    mirror_node,
+    oriented_ring,
+    oriented_torus,
+    star_graph,
+    symmetric_tree,
+    torus_node,
+    two_node_graph,
+)
+from repro.symmetry import all_pairs_distances, shrink, shrink_witness
+
+
+class TestShrinkValues:
+    def test_same_node_is_zero(self):
+        g = oriented_ring(4)
+        assert shrink(g, 2, 2) == 0
+
+    def test_two_node(self):
+        assert shrink(two_node_graph(), 0, 1) == 1
+
+    def test_oriented_ring_equals_distance(self):
+        g = oriented_ring(7)
+        for v in range(1, 7):
+            assert shrink(g, 0, v) == g.distance(0, v)
+
+    def test_oriented_torus_equals_distance(self):
+        # The paper's example: in an oriented torus Shrink(u, v) is the
+        # distance between u and v, for any pair.
+        g = oriented_torus(3, 4)
+        for v in range(1, g.n):
+            assert shrink(g, 0, v) == g.distance(0, v)
+
+    def test_symmetric_tree_shrink_is_one(self):
+        # The paper's contrast: Shrink of any mirror pair is 1 although
+        # the distance can be arbitrarily large.
+        for depth in (1, 2, 3):
+            g = symmetric_tree(2, depth)
+            deep_leaf = g.n // 2 - 1
+            m = mirror_node(deep_leaf, 2, depth)
+            assert g.distance(deep_leaf, m) == 2 * depth + 1
+            assert shrink(g, deep_leaf, m) == 1
+
+    def test_hypercube_equals_hamming(self):
+        g = hypercube(3)
+        for v in (1, 3, 5, 7):
+            assert shrink(g, 0, v) == bin(v).count("1")
+
+    def test_complete_graph_is_one(self):
+        g = complete_graph(6)
+        for v in range(1, 6):
+            assert shrink(g, 0, v) == 1
+
+    def test_nonsymmetric_pair_can_shrink_to_zero(self):
+        # Star leaves both reach the center via port 0: the *general*
+        # product-BFS reaches a coincident pair (the pairs are
+        # non-symmetric, so this does not contradict Lemma 3.1).
+        g = star_graph(3)
+        assert shrink(g, 1, 2) == 0
+
+    def test_symmetric_distinct_pair_never_zero(self):
+        # For symmetric u != v, equal views force equal entry ports
+        # along any common sequence, so alpha(u) = alpha(v) would give
+        # u = v; Shrink >= 1.
+        for g in (oriented_ring(6), oriented_torus(3, 3), hypercube(3)):
+            for v in range(1, g.n):
+                assert shrink(g, 0, v) >= 1
+
+
+class TestShrinkWitness:
+    def test_witness_realizes_value(self):
+        g = symmetric_tree(2, 2)
+        u, v = 3, mirror_node(3, 2, 2)
+        value, alpha, (x, y) = shrink_witness(g, u, v)
+        assert g.apply_port_sequence(u, alpha) == x
+        assert g.apply_port_sequence(v, alpha) == y
+        assert g.distance(x, y) == value == 1
+
+    def test_witness_is_shortest(self):
+        # BFS explores by sequence length, so the returned alpha has
+        # minimal length among sequences achieving the minimum: on an
+        # oriented torus no sequence changes the distance, so alpha = ().
+        g = oriented_torus(3, 3)
+        value, alpha, _ = shrink_witness(g, 0, torus_node(1, 1, 3))
+        assert alpha == ()
+        assert value == g.distance(0, torus_node(1, 1, 3))
+
+    def test_identity_witness(self):
+        g = oriented_ring(5)
+        assert shrink_witness(g, 1, 1) == (0, (), (1, 1))
+
+
+class TestAllPairsDistances:
+    def test_matches_bfs(self):
+        g = symmetric_tree(2, 1)
+        dist = all_pairs_distances(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert dist[u, v] == g.distance(u, v)
+        assert (dist == dist.T).all()

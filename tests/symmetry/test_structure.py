@@ -1,0 +1,82 @@
+"""Tests for the symmetry-structure analysis extension."""
+
+import numpy as np
+
+from repro.graphs import (
+    oriented_ring,
+    oriented_torus,
+    path_graph,
+    star_graph,
+    symmetric_tree,
+)
+from repro.symmetry import (
+    delay_profile,
+    min_universal_delay,
+    shrink_matrix,
+    symmetry_orbits,
+)
+
+
+class TestShrinkMatrix:
+    def test_ring(self):
+        g = oriented_ring(5)
+        m = shrink_matrix(g)
+        assert m.shape == (5, 5)
+        assert (np.diag(m) == 0).all()
+        assert (m == m.T).all()
+        for u in range(5):
+            for v in range(5):
+                if u != v:
+                    assert m[u, v] == g.distance(u, v)
+
+    def test_nonsymmetric_marked(self):
+        g = path_graph(4)
+        m = shrink_matrix(g)
+        assert (m[0, 1:] == -1).all()  # no symmetric partner for an end
+
+
+class TestOrbits:
+    def test_vertex_transitive_single_orbit(self):
+        assert symmetry_orbits(oriented_torus(3, 3)) == [list(range(9))]
+
+    def test_star_orbits_are_singletons(self):
+        orbits = symmetry_orbits(star_graph(3))
+        assert sorted(len(o) for o in orbits) == [1, 1, 1, 1]
+
+    def test_orbits_partition_nodes(self):
+        g = symmetric_tree(2, 2)
+        orbits = symmetry_orbits(g)
+        flat = sorted(v for o in orbits for v in o)
+        assert flat == list(range(g.n))
+        assert all(len(o) % 2 == 0 for o in orbits)  # mirror pairing
+
+
+class TestDelayProfile:
+    def test_ring_profile(self):
+        g = oriented_ring(6)
+        profile = delay_profile(g)
+        assert profile.max_shrink == 3  # antipodal pair
+        assert profile.symmetric_pairs == profile.total_pairs == 15
+        assert profile.hardest_pair in {(0, 3), (1, 4), (2, 5)}
+
+    def test_tree_profile(self):
+        g = symmetric_tree(2, 2)
+        profile = delay_profile(g)
+        assert profile.max_shrink == 1  # Shrink collapses on mirror trees
+        assert profile.mean_shrink == 1.0
+
+    def test_asymmetric_graph_needs_no_delay(self):
+        g = star_graph(4)
+        assert min_universal_delay(g) == 0
+        profile = delay_profile(g)
+        assert profile.symmetric_pairs == 0
+        assert profile.hardest_pair is None
+
+    def test_min_universal_delay_makes_everything_feasible(self):
+        from repro.symmetry import is_feasible
+
+        for g in (oriented_ring(5), oriented_torus(3, 3), symmetric_tree(2, 1)):
+            delay = min_universal_delay(g)
+            for u in range(g.n):
+                for v in range(u + 1, g.n):
+                    assert is_feasible(g, u, v, delay)

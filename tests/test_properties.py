@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: graph axioms, view/symmetry coherence, Shrink bounds,
+pairing bijectivity, schedule guarantees, encodings, and the
+feasibility characterization exercised end-to-end on random instances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    STIC,  # noqa: F401  (re-exported API sanity)
+    apply_uxs,
+    encode_graph_view,
+    pair,
+    schedule_word,
+    triple,
+    unpair,
+    untriple,
+    verify_schedule_pair,
+)
+from repro.core.explore import count_walks
+from repro.graphs import random_connected_graph, random_tree
+from repro.symmetry import (
+    are_symmetric,
+    classify_stic,
+    shrink,
+    shrink_witness,
+    truncated_view,
+    view_classes,
+)
+from repro.util import (
+    bits_to_int,
+    double_and_terminate,
+    int_to_bits,
+    undouble,
+)
+
+graph_strategy = st.builds(
+    random_connected_graph,
+    n=st.integers(min_value=2, max_value=9),
+    extra_edges=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+
+tree_strategy = st.builds(
+    random_tree,
+    n=st.integers(min_value=2, max_value=9),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+
+
+class TestGraphAxioms:
+    @given(graph_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_port_involution(self, g):
+        """succ(succ(v,p), entry_port(v,p)) == v for every port."""
+        for v in range(g.n):
+            for p in range(g.degree(v)):
+                w = g.succ(v, p)
+                q = g.entry_port(v, p)
+                assert g.succ(w, q) == v
+                assert g.entry_port(w, q) == p
+
+    @given(graph_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_is_twice_edges(self, g):
+        assert int(g.degrees.sum()) == 2 * len(g.edges)
+
+    @given(graph_strategy, st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_path_returns_home(self, g, seed):
+        from repro.util.lcg import SplitMix64
+
+        rng = SplitMix64(seed)
+        node = rng.randrange(g.n)
+        alpha = []
+        cursor = node
+        for _ in range(rng.randrange(6) + 1):
+            p = rng.randrange(g.degree(cursor))
+            alpha.append(p)
+            cursor = g.succ(cursor, p)
+        back = g.reverse_ports(node, alpha)
+        assert g.apply_port_sequence(cursor, back) == node
+
+
+class TestSymmetryInvariants:
+    @given(graph_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_view_classes_refine_degrees(self, g):
+        colors = view_classes(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                if colors[u] == colors[v]:
+                    assert g.degree(u) == g.degree(v)
+
+    @given(graph_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_classes_match_truncated_views(self, g):
+        colors = view_classes(g)
+        depth = g.n - 1
+        views = [truncated_view(g, v, min(depth, 4)) for v in range(g.n)]
+        # equal colors => equal truncated views at any depth
+        for u in range(g.n):
+            for v in range(g.n):
+                if colors[u] == colors[v]:
+                    assert views[u] == views[v]
+
+    @given(graph_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_shrink_bounds(self, g):
+        """0 <= Shrink(u,v) <= dist(u,v); symmetric distinct pairs >= 1."""
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                s = shrink(g, u, v)
+                assert 0 <= s <= g.distance(u, v)
+                if are_symmetric(g, u, v):
+                    assert s >= 1
+
+    @given(graph_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_shrink_witness_consistent(self, g):
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                value, alpha, (x, y) = shrink_witness(g, u, v)
+                assert g.apply_port_sequence(u, alpha) == x
+                assert g.apply_port_sequence(v, alpha) == y
+                assert g.distance(x, y) == value
+
+    @given(graph_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_feasibility_trichotomy(self, g):
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                verdict0 = classify_stic(g, u, v, 0)
+                if not verdict0.symmetric:
+                    assert verdict0.feasible
+                else:
+                    s = verdict0.shrink
+                    assert classify_stic(g, u, v, s).feasible
+                    if s > 0:
+                        assert not classify_stic(g, u, v, s - 1).feasible
+
+
+class TestEncodings:
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_int_bits_roundtrip(self, x):
+        assert bits_to_int(int_to_bits(x)) == x
+
+    @given(st.lists(st.integers(0, 1), max_size=24))
+    def test_doubling_roundtrip(self, bits):
+        assert list(undouble(double_and_terminate(bits))) == bits
+
+    @given(
+        st.lists(st.integers(0, 1), max_size=12),
+        st.lists(st.integers(0, 1), max_size=12),
+    )
+    def test_doubling_prefix_free(self, a, b):
+        ca, cb = double_and_terminate(a), double_and_terminate(b)
+        if tuple(a) != tuple(b):
+            shorter, longer = sorted((ca, cb), key=len)
+            assert longer[: len(shorter)] != shorter
+
+    @given(tree_strategy, st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_view_encoding_separates_classes(self, g, depth_slack):
+        depth = min(g.n - 1, 3 + depth_slack)
+        colors = view_classes(g)
+        encs = [encode_graph_view(g, v, g.n - 1) for v in range(g.n)]
+        for u in range(g.n):
+            for v in range(g.n):
+                assert (encs[u] == encs[v]) == (colors[u] == colors[v])
+
+
+class TestPairingProperties:
+    @given(st.integers(1, 10**6))
+    def test_unpair_inverts(self, p):
+        x, y = unpair(p)
+        assert pair(x, y) == p
+
+    @given(st.integers(1, 10**4), st.integers(1, 10**4))
+    def test_pair_injective_roundtrip(self, x, y):
+        assert unpair(pair(x, y)) == (x, y)
+
+    @given(st.integers(1, 500), st.integers(1, 500), st.integers(1, 500))
+    def test_triple_roundtrip(self, x, y, z):
+        assert untriple(triple(x, y, z)) == (x, y, z)
+
+
+class TestScheduleProperty:
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=4),
+        st.lists(st.integers(0, 1), min_size=1, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_labels_always_verified(self, a, b):
+        if a == b:
+            return
+        assert verify_schedule_pair(schedule_word(a), schedule_word(b))
+
+
+class TestWalkInvariants:
+    @given(graph_strategy, st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_walk_count_bound(self, g, d):
+        for v in range(g.n):
+            assert count_walks(g, v, d) <= max(g.n - 1, 1) ** d
+
+    @given(graph_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_uxs_application_stays_in_graph(self, g):
+        from repro.core.profile import TUNED
+
+        seq = TUNED.uxs(g.n)[: 8 * g.n]
+        walk = apply_uxs(g, 0, seq)
+        assert all(0 <= v < g.n for v in walk)
+        assert len(walk) == len(seq) + 2

@@ -1,0 +1,73 @@
+"""Randomized end-to-end guarantees on generated instances.
+
+Dedicated procedures must respect their bounds on *arbitrary*
+instances, not just the curated families — these tests draw random
+graphs and verify the Section 3 guarantees wholesale.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dedicated import dedicated_rendezvous, plan_dedicated
+from repro.core.profile import TUNED
+from repro.core.uxs import is_uxs_for_graph
+from repro.graphs import cayley_abelian, random_connected_graph, random_tree
+from repro.symmetry import symmetric_pairs, view_classes
+from repro.symmetry.shrink import shrink
+
+
+@given(n=st.integers(3, 6), seed=st.integers(0, 10**5))
+@settings(max_examples=12, deadline=None)
+def test_asymm_dedicated_meets_on_random_trees(n, seed):
+    g = random_tree(n, seed)
+    if not is_uxs_for_graph(g, TUNED.uxs(g.n)):  # pragma: no cover
+        pytest.skip("tuned UXS does not cover this instance")
+    colors = view_classes(g)
+    pair = next(
+        (
+            (u, v)
+            for u in range(g.n)
+            for v in range(u + 1, g.n)
+            if colors[u] != colors[v]
+        ),
+        None,
+    )
+    if pair is None:  # pragma: no cover - trees almost always asymmetric
+        pytest.skip("no non-symmetric pair")
+    u, v = pair
+    for delta in (0, 2):
+        plan = plan_dedicated(g, u, v, delta)
+        result = dedicated_rendezvous(g, u, v, delta)
+        assert result.met and result.time_from_later <= plan.bound
+
+
+@given(n=st.integers(4, 7), extra=st.integers(0, 4), seed=st.integers(0, 10**5))
+@settings(max_examples=10, deadline=None)
+def test_symmetric_pairs_of_random_graphs_meet_at_shrink(n, extra, seed):
+    g = random_connected_graph(n, extra, seed)
+    pairs = symmetric_pairs(g)
+    if not pairs:
+        return  # random graphs are usually rigid; nothing to check
+    u, v = pairs[0]
+    delta = shrink(g, u, v)
+    plan = plan_dedicated(g, u, v, delta)
+    result = dedicated_rendezvous(g, u, v, delta)
+    assert result.met and result.time_from_later <= plan.bound
+
+
+@given(
+    m1=st.integers(3, 6),
+    m2=st.sampled_from([None, 3, 4]),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=10, deadline=None)
+def test_cayley_family_dedicated_rendezvous(m1, m2, seed):
+    moduli = (m1,) if m2 is None else (m1, m2)
+    gens = [tuple(1 if i == j else 0 for i in range(len(moduli)))
+            for j in range(len(moduli))]
+    g = cayley_abelian(moduli, gens)
+    v = 1 + seed % (g.n - 1)
+    delta = shrink(g, 0, v)
+    result = dedicated_rendezvous(g, 0, v, delta)
+    assert result.met
