@@ -12,7 +12,11 @@ from dataclasses import dataclass
 from collections.abc import Iterator
 
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.symmetry.feasibility import FeasibilityVerdict, classify_stic
+from repro.symmetry.feasibility import (
+    FeasibilityVerdict,
+    classify_from_symmetry,
+    classify_stic,
+)
 from repro.symmetry.shrink import shrink
 from repro.symmetry.views import view_classes
 
@@ -52,19 +56,9 @@ def enumerate_stics(
             symmetric = colors[u] == colors[v]
             s = shrink(graph, u, v) if symmetric else None
             for delta in range(max_delta + 1):
-                if not symmetric:
-                    verdict = FeasibilityVerdict(
-                        True, False, None, "non-symmetric positions"
-                    )
-                elif delta >= s:  # type: ignore[operator]
-                    verdict = FeasibilityVerdict(
-                        True, True, s, f"delta={delta} >= Shrink={s}"
-                    )
-                else:
-                    verdict = FeasibilityVerdict(
-                        False, True, s, f"delta={delta} < Shrink={s}"
-                    )
-                yield STIC(u, v, delta), verdict
+                yield STIC(u, v, delta), classify_from_symmetry(
+                    symmetric, s, delta
+                )
 
 
 def feasible_stics(graph: PortLabeledGraph, max_delta: int) -> list[STIC]:

@@ -40,7 +40,7 @@ from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.actions import Perception
 from repro.sim.agent import AgentScript
 from repro.sim.scheduler import RendezvousResult, run_rendezvous
-from repro.symmetry.feasibility import classify_stic
+from repro.symmetry.feasibility import FeasibilityVerdict, classify_stic
 
 __all__ = [
     "universal_rv",
@@ -48,9 +48,13 @@ __all__ = [
     "make_universal_algorithm",
     "phase_duration",
     "universal_round_budget",
+    "universal_stic_budget",
     "CertificationError",
+    "certify_graph",
     "certify_instance",
+    "certify_labels",
     "rendezvous",
+    "universal_feasibility_atlas",
 ]
 
 
@@ -151,16 +155,40 @@ def universal_round_budget(profile: Profile, n: int, d: int, delta: int) -> int:
     return sum(phase_duration(profile, p) for p in range(1, last + 1))
 
 
-def certify_instance(
-    graph: PortLabeledGraph, u: int, v: int, profile: Profile
-) -> None:
-    """Validate tuned-profile shortcuts on this instance.
+def universal_stic_budget(
+    profile: Profile,
+    n: int,
+    verdict: FeasibilityVerdict,
+    delta: int,
+    *,
+    infeasible_horizon: int = 512,
+) -> int:
+    """Global-round budget for simulating UniversalRV on one STIC,
+    sized from its feasibility verdict — the formula shared by
+    :func:`rendezvous` and the batched sweeps.
 
-    * the profile's UXS for the actual size must cover the graph from
-      every node (needed by both SymmRV and the active slots of
-      AsymmRV in the decisive phase);
-    * with hashed labels, non-symmetric starting positions must hash
-      to different labels (a collision would void Proposition 3.1).
+    Feasible STICs get the Theorem 3.1 meeting bound for the decisive
+    ``d`` (``Shrink`` when symmetric, else 1) plus one round of slack.
+    Infeasible STICs get ``delta + infeasible_horizon`` rounds to
+    observe the non-meeting — by Lemma 3.1 no horizon could change the
+    outcome, so sweeps keep it small.  (:func:`rendezvous` instead
+    grants them a full wrong-phase budget; pass that explicitly if the
+    front door's generosity is wanted.)
+    """
+    if verdict.feasible:
+        d = verdict.shrink if verdict.symmetric else 1
+        return delta + universal_round_budget(profile, n, d, delta) + 1
+    return delta + infeasible_horizon
+
+
+def certify_graph(graph: PortLabeledGraph, profile: Profile) -> None:
+    """Validate the profile's *graph-level* shortcut: its UXS for the
+    actual size must cover the graph from every node (needed by both
+    SymmRV and the active slots of AsymmRV in the decisive phase).
+
+    This is the expensive half of :func:`certify_instance` and is
+    independent of the starting pair — sweeps over many pairs of one
+    graph should call it once and :func:`certify_labels` per pair.
 
     Raises :class:`CertificationError` with remediation advice.
     """
@@ -170,6 +198,18 @@ def certify_instance(
             f"profile {profile.name!r}: exploration sequence for n={n} does "
             "not cover this graph from every start; increase uxs_scale"
         )
+
+
+def certify_labels(
+    graph: PortLabeledGraph, u: int, v: int, profile: Profile
+) -> None:
+    """Validate the profile's *pair-level* shortcut: with hashed
+    labels, non-symmetric starting positions must hash to different
+    labels (a collision would void Proposition 3.1).
+
+    Raises :class:`CertificationError` with remediation advice.
+    """
+    n = graph.n
     if profile.label_mode != "padded":
         from repro.core.asymm_rv import finalize_label
 
@@ -183,6 +223,55 @@ def certify_instance(
                 f"profile {profile.name!r}: hashed labels collide for "
                 "non-symmetric positions; use label_mode='hash32' or 'padded'"
             )
+
+
+def certify_instance(
+    graph: PortLabeledGraph, u: int, v: int, profile: Profile
+) -> None:
+    """Validate tuned-profile shortcuts on this instance: UXS coverage
+    (:func:`certify_graph`) plus hashed-label distinctness
+    (:func:`certify_labels`)."""
+    certify_graph(graph, profile)
+    certify_labels(graph, u, v, profile)
+
+
+def universal_feasibility_atlas(
+    graph: PortLabeledGraph,
+    max_delta: int,
+    *,
+    profile: Profile = TUNED,
+    infeasible_horizon: int = 512,
+):
+    """The canonical UniversalRV atlas: certify the profile on the
+    graph (coverage once, labels per pair), budget each STIC from its
+    verdict via :func:`universal_stic_budget`, and simulate every STIC
+    with delay up to ``max_delta`` through
+    :func:`repro.symmetry.empirical_feasibility_atlas` in one batched
+    sweep.  Returns the list of atlas entries.
+    """
+    from repro.symmetry.feasibility import empirical_feasibility_atlas
+
+    certify_graph(graph, profile)
+    for u in range(graph.n):
+        for v in range(u + 1, graph.n):
+            certify_labels(graph, u, v, profile)
+
+    def budget(u: int, v: int, delta: int, verdict: FeasibilityVerdict) -> int:
+        return universal_stic_budget(
+            profile, graph.n, verdict, delta,
+            infeasible_horizon=infeasible_horizon,
+        )
+
+    oracle_factory = None
+    if profile.view_mode == "oracle":
+        oracle_factory = lambda start: UniversalOracle(graph, start, profile)
+    return empirical_feasibility_atlas(
+        graph,
+        make_universal_algorithm(profile),
+        max_delta,
+        max_rounds=budget,
+        oracle_factory=oracle_factory,
+    )
 
 
 @dataclass(frozen=True)
@@ -213,10 +302,10 @@ def rendezvous(
     verdict = classify_stic(graph, u, v, delta)
     if max_rounds is None:
         if verdict.feasible:
-            d = verdict.shrink if verdict.symmetric else 1
-            budget = universal_round_budget(profile, graph.n, d, delta)
-            max_rounds = delta + budget + 1
+            max_rounds = universal_stic_budget(profile, graph.n, verdict, delta)
         else:
+            # The front door is generous with infeasible STICs: a full
+            # wrong-phase budget, so the non-meeting is unambiguous.
             max_rounds = delta + universal_round_budget(profile, graph.n, 1, delta)
 
     algorithm = make_universal_algorithm(profile)

@@ -22,6 +22,7 @@ touch, and exhaustively over *all* port-labeled graphs of size
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from functools import lru_cache
 from collections.abc import Sequence
 
@@ -53,13 +54,33 @@ def uxs_length(n: int) -> int:
     return 48 * n**3 * max(1, (n + 1).bit_length())
 
 
-@lru_cache(maxsize=64)
+# ``Y(n)`` memo bounded by *total retained elements*, not entry count:
+# a single sequence is 48·n³·⌈log₂(n+1)⌉ terms (~36M at n = 50), so an
+# entry-counting LRU could pin gigabytes.  Oversized sequences are
+# returned uncached; smaller ones are kept LRU-evicted under the budget.
+_UXS_CACHE: OrderedDict[int, tuple[int, ...]] = OrderedDict()
+_UXS_CACHE_BUDGET = 8_000_000  # total cached terms across all sizes
+_uxs_cache_total = 0
+
+
 def uxs_for_size(n: int) -> tuple[int, ...]:
     """Our ``Y(n)``: deterministic, shared-by-construction, keyed by ``n``."""
+    global _uxs_cache_total
+    cached = _UXS_CACHE.get(n)
+    if cached is not None:
+        _UXS_CACHE.move_to_end(n)
+        return cached
     rng = SplitMix64(derive_seed("uxs", n))
     # Offsets in a modest fixed range; they are reduced mod d(u_i) at
     # application time, so any range >= max degree keeps the walk rich.
-    return tuple(rng.randrange(max(2 * n, 2)) for _ in range(uxs_length(n)))
+    seq = tuple(rng.randrange(max(2 * n, 2)) for _ in range(uxs_length(n)))
+    if len(seq) <= _UXS_CACHE_BUDGET:
+        _UXS_CACHE[n] = seq
+        _uxs_cache_total += len(seq)
+        while _uxs_cache_total > _UXS_CACHE_BUDGET:
+            _, evicted = _UXS_CACHE.popitem(last=False)
+            _uxs_cache_total -= len(evicted)
+    return seq
 
 
 def apply_uxs(

@@ -20,7 +20,14 @@ from repro.baselines.leader_election import elect_leader
 from repro.baselines.random_walk import mean_meeting_time
 from repro.baselines.wait_for_mommy import wait_for_mommy
 from repro.core.profile import TUNED
-from repro.core.universal import UniversalOracle, rendezvous
+from repro.core.universal import (
+    UniversalOracle,
+    certify_graph,
+    certify_labels,
+    make_universal_algorithm,
+    rendezvous,
+    universal_stic_budget,
+)
 from repro.experiments.records import ExperimentRecord
 from repro.graphs.families import (
     oriented_ring,
@@ -29,10 +36,51 @@ from repro.graphs.families import (
     star_graph,
     torus_node,
 )
+from repro.sim.batch import run_rendezvous_batch
 from repro.sim.scheduler import run_rendezvous
 from repro.symmetry.feasibility import classify_stic
 
-__all__ = ["run"]
+__all__ = ["run", "universal_partner_sweep"]
+
+
+def universal_partner_sweep(graph, u, delta, *, profile=TUNED, certified=False):
+    """Batched UniversalRV over every feasible partner of ``u``.
+
+    Runs the STIC family ``{[(u, v), delta] : v != u feasible}`` in one
+    :func:`~repro.sim.batch.run_rendezvous_batch` call (oracle-mode
+    profiles supply a per-start oracle factory), so agent ``u``'s trace
+    is compiled once and shared across the whole sweep.  Returns the
+    list of ``(v, result)`` pairs.  ``certified=True`` skips the
+    graph-level UXS coverage walk for callers that already certified
+    this graph under this profile.
+    """
+    if not certified:
+        certify_graph(graph, profile)  # UXS coverage is pair-independent
+    partners = []
+    verdicts = {}
+    for v in range(graph.n):
+        if v == u:
+            continue
+        verdict = classify_stic(graph, u, v, delta)
+        if verdict.feasible:
+            certify_labels(graph, u, v, profile)
+            partners.append(v)
+            verdicts[v] = verdict
+
+    def budget(u_, v_, delta_):
+        return universal_stic_budget(profile, graph.n, verdicts[v_], delta_)
+
+    oracle_factory = None
+    if profile.view_mode == "oracle":
+        oracle_factory = lambda start: UniversalOracle(graph, start, profile)
+    results = run_rendezvous_batch(
+        graph,
+        [(u, v, delta) for v in partners],
+        make_universal_algorithm(profile),
+        max_rounds=budget,
+        oracle_factory=oracle_factory,
+    )
+    return list(zip(partners, results))
 
 
 def run(fast: bool = True) -> ExperimentRecord:
@@ -49,6 +97,7 @@ def run(fast: bool = True) -> ExperimentRecord:
             "case",
             "class",
             "UniversalRV",
+            "partner sweep",
             "random walk (mean)",
             "mommy",
             "asymm-only",
@@ -73,6 +122,13 @@ def run(fast: bool = True) -> ExperimentRecord:
         verdict = classify_stic(graph, u, v, delta)
         result = rendezvous(graph, u, v, delta, profile=TUNED, record_traces=True)
         ok = ok and result.met
+
+        # Batched sweep: UniversalRV must also meet every other feasible
+        # partner of u at this delay (one engine call per case; the
+        # rendezvous() above already certified the graph).
+        sweep = universal_partner_sweep(graph, u, delta, certified=True)
+        ok = ok and all(r.met for _, r in sweep)
+        sweep_cell = f"{sum(r.met for _, r in sweep)}/{len(sweep)}"
 
         rw_mean, rw_fail = mean_meeting_time(
             graph, u, v, delta, trials=trials, seed=42
@@ -103,6 +159,7 @@ def run(fast: bool = True) -> ExperimentRecord:
             **{
                 "class": "sym" if verdict.symmetric else "nonsym",
                 "UniversalRV": result.time_from_later,
+                "partner sweep": sweep_cell,
                 "random walk (mean)": round(rw_mean, 1),
                 "mommy": mommy.time_from_later,
                 "asymm-only": asymm_cell,
@@ -113,7 +170,8 @@ def run(fast: bool = True) -> ExperimentRecord:
     record.measured_summary = (
         "every baseline met on every applicable case: the leader-oracle and "
         "randomized baselines need no symmetry-breaking budget, the "
-        "asymmetric-only variant meets exactly the non-symmetric cases, and "
-        "a leader was elected from every successful deterministic trace"
+        "asymmetric-only variant meets exactly the non-symmetric cases, a "
+        "leader was elected from every successful deterministic trace, and "
+        "the batched sweep met every feasible partner of each start"
     )
     return record

@@ -11,6 +11,8 @@ faster on the 13k-node ``Q̂_8``.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.graphs.port_graph import PortLabeledGraph
@@ -23,23 +25,27 @@ def simulate_word_batch(
     graph: PortLabeledGraph,
     word: tuple[int, ...],
     u: int,
-    starts: list[int],
+    starts: Sequence[int] | np.ndarray,
     delta: int,
     max_rounds: int,
 ) -> list[int | None]:
     """Meeting times for STICs ``[(u, v), delta]`` for all ``v`` in
-    ``starts``, under one shared oblivious word (repeated forever).
+    ``starts`` (any integer sequence, ndarrays included), under one
+    shared oblivious word (repeated forever).
 
     Returns one global meeting round (or ``None``) per start, identical
     to running :func:`repro.hardness.lower_bound.simulate_word` per
     start — property-tested against it.
     """
-    if not starts:
+    if len(starts) == 0:  # truthiness would reject ndarray inputs
         return []
     succ = graph.succ_node_array
     n_words = len(word)
     pos_a = u  # scalar: the earlier agent is shared across the batch
-    pos_b = np.asarray(starts, dtype=np.int64)
+    # Explicit copy: np.asarray would alias an int64 ndarray argument,
+    # and the in-place `pos_b[live] = ...` updates below would then
+    # silently corrupt the caller's array.
+    pos_b = np.array(starts, dtype=np.int64, copy=True)
     met = np.full(len(starts), -1, dtype=np.int64)
 
     for t in range(max_rounds):

@@ -6,6 +6,7 @@ from repro.sim.async_adversary import (
     mirror_adversary_run,
 )
 from repro.sim.actions import Action, Move, Perception, Wait, WaitBlock
+from repro.sim.batch import PortTrace, TraceCompiler, run_rendezvous_batch
 from repro.sim.agent import (
     AgentScript,
     follow_ports,
@@ -35,6 +36,9 @@ __all__ = [
     "RendezvousResult",
     "SimulationLimit",
     "run_rendezvous",
+    "run_rendezvous_batch",
+    "PortTrace",
+    "TraceCompiler",
     "run_single_agent",
     "AgentTrace",
     "TraceEntry",

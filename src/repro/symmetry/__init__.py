@@ -1,6 +1,12 @@
 """Views, symmetry, Shrink, and STIC feasibility (Sections 2-3)."""
 
-from repro.symmetry.feasibility import FeasibilityVerdict, classify_stic, is_feasible
+from repro.symmetry.feasibility import (
+    AtlasEntry,
+    FeasibilityVerdict,
+    classify_stic,
+    empirical_feasibility_atlas,
+    is_feasible,
+)
 from repro.symmetry.shrink import all_pairs_distances, shrink, shrink_witness
 from repro.symmetry.structure import (
     DelayProfile,
@@ -36,4 +42,6 @@ __all__ = [
     "FeasibilityVerdict",
     "classify_stic",
     "is_feasible",
+    "AtlasEntry",
+    "empirical_feasibility_atlas",
 ]

@@ -7,17 +7,33 @@ A STIC ``[(u, v), delta]`` is feasible iff
 
 (The degenerate ``u == v`` case is excluded by the model: agents start
 at *different* nodes.)
+
+Besides the per-STIC characterization, :func:`empirical_feasibility_atlas`
+sweeps *every* STIC of a graph up to a delay cap and simulates a given
+algorithm on each — in one call to the batched sweep engine
+(:func:`repro.sim.batch.run_rendezvous_batch`), so symmetry data and
+agent traces are computed once per graph, not once per STIC.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.batch import run_rendezvous_batch
+from repro.sim.scheduler import RendezvousResult
 from repro.symmetry.shrink import shrink
 from repro.symmetry.views import are_symmetric
 
-__all__ = ["FeasibilityVerdict", "classify_stic", "is_feasible"]
+__all__ = [
+    "FeasibilityVerdict",
+    "classify_from_symmetry",
+    "classify_stic",
+    "is_feasible",
+    "AtlasEntry",
+    "empirical_feasibility_atlas",
+]
 
 
 @dataclass(frozen=True)
@@ -45,15 +61,17 @@ class FeasibilityVerdict:
     reason: str
 
 
-def classify_stic(
-    graph: PortLabeledGraph, u: int, v: int, delta: int
+def classify_from_symmetry(
+    symmetric: bool, s: int | None, delta: int
 ) -> FeasibilityVerdict:
-    """Apply the characterization of Corollary 3.1 to ``[(u, v), delta]``."""
-    if delta < 0:
-        raise ValueError(f"delay must be non-negative, got {delta}")
-    if u == v:
-        raise ValueError("the model requires distinct initial nodes")
-    if not are_symmetric(graph, u, v):
+    """Corollary 3.1 verdict from precomputed symmetry data.
+
+    Sweeps that already hold view colors and ``Shrink`` values (e.g.
+    :func:`repro.core.stic.enumerate_stics`) build their verdicts here
+    instead of re-deriving the symmetry per STIC via
+    :func:`classify_stic`.
+    """
+    if not symmetric:
         return FeasibilityVerdict(
             feasible=True,
             symmetric=False,
@@ -61,7 +79,7 @@ def classify_stic(
             reason="non-symmetric initial positions: feasible for every "
             "delay (Proposition 3.1 / [20])",
         )
-    s = shrink(graph, u, v)
+    assert s is not None
     if delta >= s:
         return FeasibilityVerdict(
             feasible=True,
@@ -79,6 +97,86 @@ def classify_stic(
     )
 
 
+def classify_stic(
+    graph: PortLabeledGraph, u: int, v: int, delta: int
+) -> FeasibilityVerdict:
+    """Apply the characterization of Corollary 3.1 to ``[(u, v), delta]``."""
+    if delta < 0:
+        raise ValueError(f"delay must be non-negative, got {delta}")
+    if u == v:
+        raise ValueError("the model requires distinct initial nodes")
+    if not are_symmetric(graph, u, v):
+        return classify_from_symmetry(False, None, delta)
+    return classify_from_symmetry(True, shrink(graph, u, v), delta)
+
+
 def is_feasible(graph: PortLabeledGraph, u: int, v: int, delta: int) -> bool:
     """Shorthand for ``classify_stic(...).feasible``."""
     return classify_stic(graph, u, v, delta).feasible
+
+
+@dataclass(frozen=True)
+class AtlasEntry:
+    """One STIC of an empirical atlas: the Corollary 3.1 verdict next
+    to what a concrete algorithm actually did on that STIC."""
+
+    u: int
+    v: int
+    delta: int
+    verdict: FeasibilityVerdict
+    result: RendezvousResult
+
+    @property
+    def consistent(self) -> bool:
+        """Simulation agrees with the characterization: feasible STICs
+        met (given an adequate budget), infeasible STICs did not."""
+        return self.result.met == self.verdict.feasible
+
+
+def empirical_feasibility_atlas(
+    graph: PortLabeledGraph,
+    algorithm: Callable,
+    max_delta: int,
+    *,
+    max_rounds: int | Callable[[int, int, int, FeasibilityVerdict], int],
+    oracle_factory: Callable[[int], object] | None = None,
+) -> list[AtlasEntry]:
+    """Classify and *simulate* every STIC with delay up to ``max_delta``.
+
+    The sweep is :func:`repro.core.stic.enumerate_stics` (symmetry
+    colors computed once per graph, ``Shrink`` once per symmetric
+    pair); all ``n(n-1)/2 * (max_delta+1)`` STICs then run through one
+    batched sweep.  A callable ``max_rounds`` receives
+    ``(u, v, delta, verdict)`` — the precomputed verdict spares
+    callers re-deriving the symmetry data per STIC; feasible STICs
+    should get their algorithm's meeting budget, infeasible ones any
+    observation horizon.
+    """
+    # Local import: repro.core.stic imports this module at load time.
+    from repro.core.stic import enumerate_stics
+
+    stics: list[tuple[int, int, int]] = []
+    verdicts: list[FeasibilityVerdict] = []
+    for stic, verdict in enumerate_stics(graph, max_delta):
+        stics.append((stic.u, stic.v, stic.delta))
+        verdicts.append(verdict)
+    budget: int | Callable[[int, int, int], int]
+    if callable(max_rounds):
+        budgets = {
+            key: max_rounds(*key, verdict)
+            for key, verdict in zip(stics, verdicts)
+        }
+        budget = lambda u, v, delta: budgets[(u, v, delta)]
+    else:
+        budget = max_rounds
+    results = run_rendezvous_batch(
+        graph,
+        stics,
+        algorithm,
+        max_rounds=budget,
+        oracle_factory=oracle_factory,
+    )
+    return [
+        AtlasEntry(u, v, delta, verdict, result)
+        for (u, v, delta), verdict, result in zip(stics, verdicts, results)
+    ]

@@ -130,3 +130,59 @@ class TestMinimalVerified:
         from repro.core import minimal_verified_uxs
 
         assert minimal_verified_uxs(1) == ()
+
+
+class TestSequenceCache:
+    """``uxs_for_size`` memoization is bounded by total retained terms,
+    not entry count — a single ``Y(n)`` is ~36M ints at n = 50, so an
+    entry-counting LRU could pin gigabytes (see ISSUE 1)."""
+
+    @pytest.fixture()
+    def small_budget(self, monkeypatch):
+        from repro.core import uxs as uxs_module
+
+        saved = dict(uxs_module._UXS_CACHE)
+        saved_total = uxs_module._uxs_cache_total
+        uxs_module._UXS_CACHE.clear()
+        monkeypatch.setattr(uxs_module, "_uxs_cache_total", 0)
+        yield uxs_module
+        uxs_module._UXS_CACHE.clear()
+        uxs_module._UXS_CACHE.update(saved)
+        uxs_module._uxs_cache_total = saved_total
+
+    def test_determinism_survives_eviction(self, small_budget):
+        mod = small_budget
+        first = {n: uxs_for_size(n) for n in (1, 2, 3)}
+        # Evict everything by shrinking the budget below any entry.
+        mod._UXS_CACHE.clear()
+        mod._uxs_cache_total = 0
+        for n, seq in first.items():
+            assert uxs_for_size(n) == seq
+            assert len(seq) == uxs_length(n)
+
+    def test_total_retained_length_bounded(self, small_budget, monkeypatch):
+        mod = small_budget
+        budget = uxs_length(2) + uxs_length(1) + 10
+        monkeypatch.setattr(mod, "_UXS_CACHE_BUDGET", budget)
+        for n in (1, 2, 3, 2, 1, 3):
+            uxs_for_size(n)
+            total = sum(len(s) for s in mod._UXS_CACHE.values())
+            assert total == mod._uxs_cache_total
+            assert total <= budget
+
+    def test_oversized_sequences_returned_uncached(self, small_budget, monkeypatch):
+        mod = small_budget
+        monkeypatch.setattr(mod, "_UXS_CACHE_BUDGET", uxs_length(2))
+        a = uxs_for_size(3)  # longer than the whole budget
+        assert 3 not in mod._UXS_CACHE
+        assert a == uxs_for_size(3)  # still deterministic
+
+    def test_lru_eviction_order(self, small_budget, monkeypatch):
+        mod = small_budget
+        monkeypatch.setattr(
+            mod, "_UXS_CACHE_BUDGET", uxs_length(2) + uxs_length(1) - 1
+        )
+        uxs_for_size(1)
+        uxs_for_size(2)  # pushes total over budget -> evicts n=1
+        assert 1 not in mod._UXS_CACHE
+        assert 2 in mod._UXS_CACHE

@@ -1,5 +1,6 @@
 """Batch oblivious simulation must agree with the scalar reference."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -50,3 +51,17 @@ class TestAgainstScalar:
         # Pure STAY word and distinct starts: nobody ever meets.
         out = simulate_word_batch(g, (-1,), 0, [1, 2], 0, 30)
         assert out == [None, None]
+
+    def test_starts_ndarray_not_mutated(self):
+        """Regression: an int64 ndarray argument used to be aliased by
+        ``np.asarray`` and silently overwritten by the in-place
+        position updates."""
+        g = oriented_torus(3, 3)
+        starts = np.arange(1, 9, dtype=np.int64)
+        before = starts.copy()
+        simulate_word_batch(g, (N, E, S, W, N, E), 0, starts, 1, 40)
+        assert np.array_equal(starts, before)
+        # And the ndarray input yields the same answer as a list input.
+        assert simulate_word_batch(
+            g, (N, E, S, W, N, E), 0, starts, 1, 40
+        ) == simulate_word_batch(g, (N, E, S, W, N, E), 0, list(before), 1, 40)

@@ -70,3 +70,60 @@ class TestCharacterization:
             s = shrink(g, 0, v)
             assert not is_feasible(g, 0, v, s - 1)
             assert is_feasible(g, 0, v, s)
+
+
+class TestEmpiricalAtlas:
+    """The batched atlas: Corollary 3.1 verdicts checked by simulation."""
+
+    @staticmethod
+    def _universal_atlas(graph, max_delta):
+        from repro.core import universal_feasibility_atlas
+
+        return universal_feasibility_atlas(
+            graph, max_delta, infeasible_horizon=256
+        )
+
+    @pytest.mark.parametrize(
+        "graph, max_delta",
+        [(oriented_ring(5), 3), (path_graph(4), 2), (star_graph(3), 2)],
+        ids=["ring5", "path4", "star3"],
+    )
+    def test_simulation_matches_characterization(self, graph, max_delta):
+        entries = self._universal_atlas(graph, max_delta)
+        n = graph.n
+        assert len(entries) == n * (n - 1) // 2 * (max_delta + 1)
+        for entry in entries:
+            assert entry.consistent, (entry.u, entry.v, entry.delta)
+            assert entry.verdict == classify_stic(
+                graph, entry.u, entry.v, entry.delta
+            )
+
+    def test_enumeration_order_and_verdicts(self):
+        """Atlas verdicts line up with `enumerate_stics` exactly."""
+        from repro.core import enumerate_stics
+
+        g = oriented_torus(3, 3)
+        entries = self._universal_atlas(g, 1)
+        listed = list(enumerate_stics(g, 1))
+        assert len(entries) == len(listed)
+        for entry, (stic, verdict) in zip(entries, listed):
+            assert (entry.u, entry.v, entry.delta) == (stic.u, stic.v, stic.delta)
+            assert entry.verdict.feasible == verdict.feasible
+            assert entry.verdict.symmetric == verdict.symmetric
+            assert entry.verdict.shrink == verdict.shrink
+
+    def test_inconsistent_entry_flagged(self):
+        """A waiting algorithm never meets distinct feasible starts, so
+        `consistent` must go False — the property is falsifiable."""
+        from repro.sim.actions import Wait
+        from repro.symmetry import empirical_feasibility_atlas
+
+        def sitter(percept):
+            while True:
+                percept = yield Wait()
+
+        g = path_graph(3)
+        entries = empirical_feasibility_atlas(g, sitter, 1, max_rounds=50)
+        assert any(not e.consistent for e in entries)
+        for e in entries:
+            assert e.consistent == (e.result.met == e.verdict.feasible)
