@@ -7,17 +7,28 @@ positions — two timing models:
 * **synchronous** (the paper's model): the agents' clocks tick
   together and the delay between their starts is a fact of the world.
   With delay >= Shrink, UniversalRV meets.
-* **asynchronous**: the adversary owns the clock.  It simply runs both
-  agents in lockstep and nullifies their waits — the "delay" evaporates
-  and the meeting never happens (the Section 5 remark).
+* **asynchronous**: the adversary owns the clock.  Who moves when is
+  the adversary's choice — an ``ActivationSchedule``.  The mirror
+  schedule runs both agents in lockstep and nullifies their waits: the
+  "delay" evaporates and the meeting never happens (the Section 5
+  remark).  Any *asymmetric* schedule, though, hands the symmetry
+  breaking right back.
 
 Run:  python examples/async_vs_sync.py
 """
 
+from collections import Counter
+
 from repro.core import make_universal_algorithm, rendezvous, tuned_profile
 from repro.graphs import oriented_ring, path_graph
-from repro.sim import eager_adversary_run, mirror_adversary_run
-from repro.symmetry import shrink
+from repro.sim import (
+    EagerSchedule,
+    FixedDelaySchedule,
+    MirrorSchedule,
+    RandomSchedule,
+    run_schedule_adversary,
+)
+from repro.symmetry import async_feasibility_atlas, shrink, symmetric_pairs
 
 
 def main() -> None:
@@ -36,17 +47,50 @@ def main() -> None:
     # Asynchronous: the mirror adversary erases time as a resource.
     profile = tuned_profile(view_mode="faithful", name="async-demo")
     algorithm = make_universal_algorithm(profile)
-    out = mirror_adversary_run(ring, u, v, algorithm, max_events=5000)
+    out = run_schedule_adversary(
+        ring, u, v, algorithm, MirrorSchedule(), max_events=5000
+    )
     print(f"asynchronous (mirror adversary): met = {out.met} after "
           f"{out.events} traversal events — the adversary keeps the "
           "configuration symmetric forever")
 
     # Space still works asynchronously.
     path = path_graph(3)
-    out2 = eager_adversary_run(path, 0, 2, algorithm, max_events=500_000)
+    out2 = run_schedule_adversary(
+        path, 0, 2, algorithm, EagerSchedule(), max_events=500_000
+    )
     print(f"\nasynchronous but NON-symmetric (path ends): met = {out2.met} "
           f"at node {out2.meeting_node} — spatial asymmetry survives "
           "adversarial timing")
+
+    # The atlas view: every symmetric pair of the ring against a grid
+    # of adversaries, one batched sweep.  Only the perfectly symmetric
+    # schedule blocks node meetings everywhere (on the oriented ring
+    # its lockstep agents co-rotate and never even cross); schedules
+    # that are merely delay-skewed can still leave some pairs stuck at
+    # edge meetings — crossings inside an edge, the relaxed meeting
+    # notion of the asynchronous literature — while fully asymmetric
+    # ones reach node meetings outright.
+    schedules = [
+        MirrorSchedule(),
+        EagerSchedule(),
+        FixedDelaySchedule(3),
+        RandomSchedule(7),
+    ]
+    atlas = async_feasibility_atlas(
+        ring, algorithm, schedules,
+        max_events=3000, pairs=symmetric_pairs(ring),
+    )
+    print("\nasync atlas on the 6-ring (all symmetric pairs x 4 adversaries):")
+    by_schedule: dict[str, Counter] = {}
+    for entry in atlas:
+        by_schedule.setdefault(entry.schedule.name, Counter())[
+            entry.meeting_class
+        ] += 1
+    for name, kinds in by_schedule.items():
+        summary = ", ".join(f"{count} {cls}" for cls, count in sorted(kinds.items()))
+        print(f"  {name:<10} -> {summary}")
+
     print()
     print("Moral (Section 5): synchrony is not a convenience here — it is")
     print("the resource.  Time can substitute for spatial asymmetry only")

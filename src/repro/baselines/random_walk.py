@@ -72,10 +72,14 @@ def mean_meeting_time(
     delta: int,
     *,
     trials: int,
-    seed: int = 0,
+    seed: int,
     max_rounds: int | None = None,
 ) -> tuple[float, int]:
     """Average ``time_from_later`` over ``trials`` runs.
+
+    ``seed`` is required: every trial's coin streams derive from it via
+    :func:`repro.util.lcg.derive_seed`, so a sweep is a pure function
+    of its arguments — run-to-run reproducible byte for byte.
 
     Returns ``(mean, failures)``; failed trials (no meeting within the
     horizon, default ``64 * n^3``) are excluded from the mean and

@@ -7,6 +7,17 @@ from repro.sim.async_adversary import (
 )
 from repro.sim.actions import Action, Move, Perception, Wait, WaitBlock
 from repro.sim.batch import PortTrace, TraceCompiler, run_rendezvous_batch
+from repro.sim.schedule_adversary import (
+    ActivationSchedule,
+    EagerSchedule,
+    FixedDelaySchedule,
+    MirrorSchedule,
+    RandomSchedule,
+    RateSkewSchedule,
+    WordSchedule,
+    run_schedule_adversary,
+    run_schedule_sweep,
+)
 from repro.sim.agent import (
     AgentScript,
     follow_ports,
@@ -45,4 +56,13 @@ __all__ = [
     "AsyncOutcome",
     "mirror_adversary_run",
     "eager_adversary_run",
+    "ActivationSchedule",
+    "MirrorSchedule",
+    "EagerSchedule",
+    "FixedDelaySchedule",
+    "RateSkewSchedule",
+    "WordSchedule",
+    "RandomSchedule",
+    "run_schedule_adversary",
+    "run_schedule_sweep",
 ]

@@ -5,13 +5,14 @@ break symmetry, as the speed of the agents and the delay between them
 is controlled by the adversary.  Hence in the asynchronous scenario,
 only space can be used to break symmetry between anonymous agents."
 
-This module makes that remark executable.  In the asynchronous model
-an agent only chooses *which edge to traverse next*; the adversary
-decides when each traversal happens.  Two adversary policies are
-provided:
+This module makes that remark executable through the two named
+adversaries of the experiments, kept as thin scalar wrappers over the
+general schedule subsystem (:mod:`repro.sim.schedule_adversary`, where
+*who moves when* is data rather than control flow):
 
-* :func:`mirror_adversary_run` — the symmetry-preserving adversary:
-  it nullifies waits (it owns the clock, so an agent cannot insist on
+* :func:`mirror_adversary_run` — the symmetry-preserving adversary
+  (:class:`~repro.sim.schedule_adversary.MirrorSchedule`): it
+  nullifies waits (it owns the clock, so an agent cannot insist on
   waiting) and advances both agents' traversals in perfect lockstep.
   Against *symmetric* starting positions this keeps the configuration
   symmetric forever, so no algorithm — including every delay-exploiting
@@ -19,98 +20,34 @@ provided:
   *crossings* still happen; the asynchronous literature ([31] etc.)
   relaxes rendezvous to edge meetings for exactly this reason, and the
   run records them.
-* :func:`eager_adversary_run` — a benign scheduler that alternates
-  single steps (agent 0, then agent 1), under which *non-symmetric*
-  positions still lead to meetings: space keeps working when time does
-  not.
+* :func:`eager_adversary_run` — a benign scheduler
+  (:class:`~repro.sim.schedule_adversary.EagerSchedule`) that
+  alternates single steps (agent 0, then agent 1), under which
+  *non-symmetric* positions still lead to meetings: space keeps
+  working when time does not.
 
 Agents are the ordinary synchronous scripts of :mod:`repro.sim.agent`;
 the adversary reinterprets their timing, which is precisely the
-asynchronous model's prerogative.
+asynchronous model's prerogative.  Batched sweeps over many pairs and
+many schedules go through
+:func:`repro.sim.schedule_adversary.run_schedule_sweep`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.sim.actions import Move, Perception, Wait, WaitBlock
+from repro.sim.actions import Perception
 from repro.sim.agent import AgentScript
+from repro.sim.schedule_adversary import (
+    AsyncOutcome,
+    EagerSchedule,
+    MirrorSchedule,
+    run_schedule_adversary,
+)
 
 __all__ = ["AsyncOutcome", "mirror_adversary_run", "eager_adversary_run"]
-
-
-@dataclass(frozen=True)
-class AsyncOutcome:
-    """Result of an adversarially-scheduled asynchronous run.
-
-    ``met`` refers to a *node* meeting; ``edge_meetings`` counts events
-    where the agents traversed the same edge in opposite directions
-    (a meeting under the relaxed asynchronous definition).
-    """
-
-    met: bool
-    meeting_node: int | None
-    events: int
-    edge_meetings: int
-
-
-class _AsyncAgent:
-    """Drives a synchronous script, exposing only its next *move*.
-
-    Waits are consumed silently: in the asynchronous model the
-    adversary owns the clock, so "wait k rounds" is an instruction the
-    environment is free to collapse to nothing.
-    """
-
-    def __init__(self, graph: PortLabeledGraph, node: int, algorithm) -> None:
-        self.graph = graph
-        self.node = node
-        self.entry_port: int | None = None
-        self.clock = 0
-        self.script: AgentScript = algorithm(self._percept())
-        self.started = False
-        self.done = False
-
-    def _percept(self) -> Perception:
-        return Perception(
-            degree=self.graph.degree(self.node),
-            entry_port=self.entry_port,
-            clock=self.clock,
-        )
-
-    def next_move(self, fuel: int = 1 << 16) -> Move | None:
-        """Advance the script past waits to its next move (or end)."""
-        if self.done:
-            return None
-        for _ in range(fuel):
-            try:
-                if not self.started:
-                    self.started = True
-                    action = next(self.script)
-                else:
-                    action = self.script.send(self._percept())
-            except StopIteration:
-                self.done = True
-                return None
-            if isinstance(action, Move):
-                return action
-            if isinstance(action, (Wait, WaitBlock)):
-                # The adversary collapses waiting to zero real time but
-                # still advances the agent's private clock so that
-                # clock-driven algorithms keep making progress.
-                self.clock += action.rounds if isinstance(action, WaitBlock) else 1
-                continue
-            raise TypeError(f"agent yielded {action!r}")
-        raise RuntimeError("agent produced no move within the fuel limit")
-
-    def apply(self, move: Move) -> None:
-        if move.port >= self.graph.degree(self.node):
-            raise ValueError(f"invalid port {move.port} at node {self.node}")
-        self.entry_port = self.graph.entry_port(self.node, move.port)
-        self.node = self.graph.succ(self.node, move.port)
-        self.clock += 1
 
 
 def mirror_adversary_run(
@@ -129,31 +66,9 @@ def mirror_adversary_run(
     node meeting is impossible — the executable form of the paper's
     Section 5 impossibility remark.
     """
-    a = _AsyncAgent(graph, u, algorithm)
-    b = _AsyncAgent(graph, v, algorithm)
-    edge_meetings = 0
-    for event in range(max_events):
-        if a.node == b.node:
-            return AsyncOutcome(True, a.node, event, edge_meetings)
-        move_a = a.next_move()
-        move_b = b.next_move()
-        if move_a is None and move_b is None:
-            break
-        from_a, from_b = a.node, b.node
-        if move_a is not None:
-            a.apply(move_a)
-        if move_b is not None:
-            b.apply(move_b)
-        if (
-            move_a is not None
-            and move_b is not None
-            and a.node == from_b
-            and b.node == from_a
-            and from_a != from_b
-        ):
-            edge_meetings += 1
-    met = a.node == b.node
-    return AsyncOutcome(met, a.node if met else None, max_events, edge_meetings)
+    return run_schedule_adversary(
+        graph, u, v, algorithm, MirrorSchedule(), max_events=max_events
+    )
 
 
 def eager_adversary_run(
@@ -169,15 +84,6 @@ def eager_adversary_run(
     Used to show the complementary half of the remark: spatial
     asymmetry still yields meetings without any timing guarantees.
     """
-    agents = (_AsyncAgent(graph, u, algorithm), _AsyncAgent(graph, v, algorithm))
-    for event in range(max_events):
-        if agents[0].node == agents[1].node:
-            return AsyncOutcome(True, agents[0].node, event, 0)
-        mover = agents[event % 2]
-        move = mover.next_move()
-        if move is not None:
-            mover.apply(move)
-        elif agents[1 - event % 2].done:
-            break
-    met = agents[0].node == agents[1].node
-    return AsyncOutcome(met, agents[0].node if met else None, max_events, 0)
+    return run_schedule_adversary(
+        graph, u, v, algorithm, EagerSchedule(), max_events=max_events
+    )

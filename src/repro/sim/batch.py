@@ -131,6 +131,14 @@ class PortTrace:
     every clock when :attr:`complete` (the script terminated).  When
     :attr:`error` is set, the decision at clock ``valid_through``
     raised; positions before it are still exact.
+
+    :attr:`tail_waits` counts the consecutive wait *actions* (``Wait``
+    or ``WaitBlock`` yields, regardless of their round spans) at the
+    end of the compiled prefix since the last move.  Consumers that
+    collapse waits (the asynchronous schedule engine) use it as a fuel
+    gauge: a trace that keeps waiting without ever moving again is
+    indistinguishable from one that just has not been compiled deep
+    enough, except by its action count.
     """
 
     start: int
@@ -139,6 +147,12 @@ class PortTrace:
     valid_through: int
     complete: bool
     error: Exception | None = None
+    tail_waits: int = 0
+
+    @property
+    def moves(self) -> int:
+        """Number of traversals in the compiled prefix."""
+        return len(self.nodes) - 1
 
     @property
     def limit(self) -> float:
@@ -169,6 +183,7 @@ class _Group:
         "stopped",
         "error",
         "error_clock",
+        "tail_waits",
     )
 
     def __init__(self, starts: np.ndarray, children: dict) -> None:
@@ -184,6 +199,7 @@ class _Group:
         self.stopped = False
         self.error: Exception | None = None
         self.error_clock = 0
+        self.tail_waits = 0
 
     def split(self, idx: np.ndarray) -> "_Group":
         sub = _Group.__new__(_Group)
@@ -199,6 +215,7 @@ class _Group:
         sub.stopped = False
         sub.error = None
         sub.error_clock = 0
+        sub.tail_waits = self.tail_waits
         return sub
 
 
@@ -341,6 +358,7 @@ class TraceCompiler:
         stopped = False
         error: Exception | None = None
         error_clock = 0
+        tail_waits = 0
         while clock <= horizon:
             d = deg[pos]
             key = (d, entry)
@@ -373,10 +391,13 @@ class TraceCompiler:
                 pos = succ[pos][row]
                 move_pos.append(pos)
                 clock += 1
+                tail_waits = 0
             elif isinstance(action, Wait):
                 clock += 1
+                tail_waits += 1
             else:
                 clock += action.rounds
+                tail_waits += 1
         times = np.zeros(len(move_clocks) + 1, dtype=np.int64)
         if move_clocks:
             times[1:] = np.asarray(move_clocks, dtype=np.int64) + 1
@@ -392,6 +413,7 @@ class TraceCompiler:
             valid_through=error_clock if error is not None else clock,
             complete=stopped,
             error=error,
+            tail_waits=tail_waits,
         )
 
     def _run_group(self, group: _Group, horizon: int) -> None:
@@ -457,10 +479,13 @@ class TraceCompiler:
                     sub.move_clocks.append(g.clock)
                     sub.poslog.append(sub.pos)
                     sub.clock = g.clock + 1
+                    sub.tail_waits = 0
                 elif isinstance(action, Wait):
                     sub.clock = g.clock + 1
+                    sub.tail_waits += 1
                 else:  # WaitBlock: fast-forward without position events
                     sub.clock = g.clock + action.rounds
+                    sub.tail_waits += 1
                 worklist.append(sub)
 
     def _finalize(self, g: _Group) -> None:
@@ -480,6 +505,7 @@ class TraceCompiler:
                 valid_through=g.error_clock if g.error is not None else g.clock,
                 complete=g.stopped,
                 error=g.error,
+                tail_waits=g.tail_waits,
             )
 
 

@@ -1,8 +1,13 @@
 """Views, symmetry, Shrink, and STIC feasibility (Sections 2-3)."""
 
 from repro.symmetry.feasibility import (
+    ASYNC_EDGE_MEETING_ONLY,
+    ASYNC_NEVER_MEETS,
+    ASYNC_NODE_MEETING,
+    AsyncAtlasEntry,
     AtlasEntry,
     FeasibilityVerdict,
+    async_feasibility_atlas,
     classify_stic,
     empirical_feasibility_atlas,
     is_feasible,
@@ -44,4 +49,9 @@ __all__ = [
     "is_feasible",
     "AtlasEntry",
     "empirical_feasibility_atlas",
+    "ASYNC_NODE_MEETING",
+    "ASYNC_EDGE_MEETING_ONLY",
+    "ASYNC_NEVER_MEETS",
+    "AsyncAtlasEntry",
+    "async_feasibility_atlas",
 ]

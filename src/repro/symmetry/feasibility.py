@@ -13,18 +13,32 @@ sweeps *every* STIC of a graph up to a delay cap and simulates a given
 algorithm on each — in one call to the batched sweep engine
 (:func:`repro.sim.batch.run_rendezvous_batch`), so symmetry data and
 agent traces are computed once per graph, not once per STIC.
+
+The asynchronous counterpart, :func:`async_feasibility_atlas`, sweeps
+(start pair × adversary schedule) cells through
+:func:`repro.sim.schedule_adversary.run_schedule_sweep` and classifies
+each cell by the strongest meeting notion it achieves: a *node
+meeting*, an *edge meeting only* (the agents crossed inside an edge —
+the relaxed asynchronous rendezvous of [31]), or *never meets*.  The
+Section 5 remark becomes a statement about this atlas: under the
+mirror schedule, symmetric pairs never land in the node-meeting class.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.sim.batch import run_rendezvous_batch
+from repro.sim.batch import TraceCompiler, run_rendezvous_batch
+from repro.sim.schedule_adversary import (
+    ActivationSchedule,
+    AsyncOutcome,
+    run_schedule_sweep,
+)
 from repro.sim.scheduler import RendezvousResult
 from repro.symmetry.shrink import shrink
-from repro.symmetry.views import are_symmetric
+from repro.symmetry.views import are_symmetric, view_classes
 
 __all__ = [
     "FeasibilityVerdict",
@@ -33,6 +47,11 @@ __all__ = [
     "is_feasible",
     "AtlasEntry",
     "empirical_feasibility_atlas",
+    "ASYNC_NODE_MEETING",
+    "ASYNC_EDGE_MEETING_ONLY",
+    "ASYNC_NEVER_MEETS",
+    "AsyncAtlasEntry",
+    "async_feasibility_atlas",
 ]
 
 
@@ -179,4 +198,70 @@ def empirical_feasibility_atlas(
     return [
         AtlasEntry(u, v, delta, verdict, result)
         for (u, v, delta), verdict, result in zip(stics, verdicts, results)
+    ]
+
+
+#: Classification constants for the asynchronous atlas, ordered from
+#: strongest to weakest meeting notion.
+ASYNC_NODE_MEETING = "node-meeting"
+ASYNC_EDGE_MEETING_ONLY = "edge-meeting-only"
+ASYNC_NEVER_MEETS = "never-meets"
+
+
+@dataclass(frozen=True)
+class AsyncAtlasEntry:
+    """One cell of an asynchronous atlas: a start pair, the adversary
+    schedule it ran under, and what the algorithm achieved there."""
+
+    u: int
+    v: int
+    schedule: ActivationSchedule
+    symmetric: bool
+    outcome: AsyncOutcome
+
+    @property
+    def meeting_class(self) -> str:
+        """Strongest meeting notion achieved within the event budget."""
+        if self.outcome.met:
+            return ASYNC_NODE_MEETING
+        if self.outcome.edge_meetings > 0:
+            return ASYNC_EDGE_MEETING_ONLY
+        return ASYNC_NEVER_MEETS
+
+
+def async_feasibility_atlas(
+    graph: PortLabeledGraph,
+    algorithm: Callable,
+    schedules: Sequence[ActivationSchedule],
+    *,
+    max_events: int,
+    pairs: Iterable[tuple[int, int]] | None = None,
+    compiler: TraceCompiler | None = None,
+) -> list[AsyncAtlasEntry]:
+    """Classify every (pair, schedule) cell of the asynchronous model.
+
+    Sweeps ``pairs`` (default: all unordered pairs of distinct nodes)
+    against every adversary in ``schedules`` through one call to the
+    batched schedule engine — agent traces are compiled once per start
+    node and reused by every schedule, and the view-class partition is
+    computed once per graph.  Each cell lands in one of the three
+    meeting classes (:data:`ASYNC_NODE_MEETING`,
+    :data:`ASYNC_EDGE_MEETING_ONLY`, :data:`ASYNC_NEVER_MEETS`),
+    making "edge meetings" first-class outcomes alongside node
+    meetings rather than a diagnostic footnote.
+    """
+    if pairs is None:
+        pair_list = [
+            (u, v) for u in range(graph.n) for v in range(u + 1, graph.n)
+        ]
+    else:
+        pair_list = [(int(u), int(v)) for u, v in pairs]
+    colors = view_classes(graph)
+    cells = [(u, v, s) for (u, v) in pair_list for s in schedules]
+    outcomes = run_schedule_sweep(
+        graph, cells, algorithm, max_events=max_events, compiler=compiler
+    )
+    return [
+        AsyncAtlasEntry(u, v, s, colors[u] == colors[v], outcome)
+        for (u, v, s), outcome in zip(cells, outcomes)
     ]

@@ -61,6 +61,19 @@ class TestRandomWalk:
                 two_node_graph(), 0, 1, 0, seed=1, max_rounds=10, laziness=1.0
             )
 
+    def test_mean_meeting_time_seed_determinism(self):
+        # The LCG seed is threaded through every trial: a sweep is a
+        # pure function of its arguments, run to run.
+        g = oriented_ring(10)
+        first = mean_meeting_time(g, 0, 5, 2, trials=25, seed=77)
+        second = mean_meeting_time(g, 0, 5, 2, trials=25, seed=77)
+        assert first == second
+        assert mean_meeting_time(g, 0, 5, 2, trials=25, seed=78) != first
+
+    def test_mean_meeting_time_requires_seed(self):
+        with pytest.raises(TypeError):
+            mean_meeting_time(oriented_ring(6), 0, 3, 0, trials=3)
+
 
 class TestWaitForMommy:
     def test_leader_finds_waiter(self):
