@@ -12,13 +12,12 @@ from dataclasses import dataclass
 from collections.abc import Iterator
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.symmetry.context import symmetry_context
 from repro.symmetry.feasibility import (
     FeasibilityVerdict,
     classify_from_symmetry,
     classify_stic,
 )
-from repro.symmetry.shrink import shrink
-from repro.symmetry.views import view_classes
 
 __all__ = ["STIC", "enumerate_stics", "feasible_stics", "infeasible_stics"]
 
@@ -47,14 +46,16 @@ def enumerate_stics(
 ) -> Iterator[tuple[STIC, FeasibilityVerdict]]:
     """All STICs of a graph with delay up to ``max_delta``, classified.
 
-    Symmetry data is computed once per graph (not per pair), keeping
-    full enumeration cheap for test sweeps.
+    Symmetry data comes from the per-graph kernel: view colors and
+    all-pairs ``Shrink`` are computed once per graph (not per pair),
+    keeping full enumeration cheap for test sweeps.
     """
-    colors = view_classes(graph)
+    context = symmetry_context(graph)
+    colors = context.colors
     for u in range(graph.n):
         for v in range(u + 1, graph.n):
-            symmetric = colors[u] == colors[v]
-            s = shrink(graph, u, v) if symmetric else None
+            symmetric = bool(colors[u] == colors[v])
+            s = context.shrink_value(u, v) if symmetric else None
             for delta in range(max_delta + 1):
                 yield STIC(u, v, delta), classify_from_symmetry(
                     symmetric, s, delta

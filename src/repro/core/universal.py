@@ -53,6 +53,7 @@ __all__ = [
     "certify_graph",
     "certify_instance",
     "certify_labels",
+    "certify_all_labels",
     "rendezvous",
     "universal_feasibility_atlas",
 ]
@@ -188,7 +189,10 @@ def certify_graph(graph: PortLabeledGraph, profile: Profile) -> None:
 
     This is the expensive half of :func:`certify_instance` and is
     independent of the starting pair — sweeps over many pairs of one
-    graph should call it once and :func:`certify_labels` per pair.
+    graph should call it once plus one :func:`certify_all_labels`.
+    Coverage runs through the vectorized multi-start walk of
+    :func:`repro.core.uxs.is_uxs_for_graph` (early exit on coverage),
+    so certification is cheap even for the reference ``Y(n)``.
 
     Raises :class:`CertificationError` with remediation advice.
     """
@@ -198,6 +202,13 @@ def certify_graph(graph: PortLabeledGraph, profile: Profile) -> None:
             f"profile {profile.name!r}: exploration sequence for n={n} does "
             "not cover this graph from every start; increase uxs_scale"
         )
+
+
+def _raw_node_label(
+    graph: PortLabeledGraph, node: int, profile: Profile
+) -> tuple[int, ...]:
+    """The canonical view encoding AsymmRV labels ``node`` with."""
+    return encode_graph_view(graph, node, profile.view_depth(graph.n))
 
 
 def certify_labels(
@@ -214,15 +225,43 @@ def certify_labels(
         from repro.core.asymm_rv import finalize_label
 
         params = profile.asymm_params(n)
-        oracle_u = UniversalOracle(graph, u, profile).raw_label(n)
-        oracle_v = UniversalOracle(graph, v, profile).raw_label(n)
-        if oracle_u != oracle_v and finalize_label(
-            oracle_u, params
-        ) == finalize_label(oracle_v, params):
+        label_u = _raw_node_label(graph, u, profile)
+        label_v = _raw_node_label(graph, v, profile)
+        if label_u != label_v and finalize_label(
+            label_u, params
+        ) == finalize_label(label_v, params):
             raise CertificationError(
                 f"profile {profile.name!r}: hashed labels collide for "
                 "non-symmetric positions; use label_mode='hash32' or 'padded'"
             )
+
+
+def certify_all_labels(graph: PortLabeledGraph, profile: Profile) -> None:
+    """Validate the pair-level shortcut for *every* pair of the graph.
+
+    Encodes each node's raw view label once (``n`` encodings of the
+    depth-``view_depth(n)`` view, instead of ``n (n - 1)`` when calling
+    :func:`certify_labels` per pair), hashes each once, and compares
+    all pairs on the cached values.
+
+    Raises :class:`CertificationError` on the first colliding pair.
+    """
+    if profile.label_mode == "padded":
+        return
+    from repro.core.asymm_rv import finalize_label
+
+    n = graph.n
+    params = profile.asymm_params(n)
+    raw = [_raw_node_label(graph, v, profile) for v in range(n)]
+    finalized = [finalize_label(label, params) for label in raw]
+    for u in range(n):
+        for v in range(u + 1, n):
+            if raw[u] != raw[v] and finalized[u] == finalized[v]:
+                raise CertificationError(
+                    f"profile {profile.name!r}: hashed labels collide for "
+                    "non-symmetric positions; use label_mode='hash32' or "
+                    "'padded'"
+                )
 
 
 def certify_instance(
@@ -243,18 +282,17 @@ def universal_feasibility_atlas(
     infeasible_horizon: int = 512,
 ):
     """The canonical UniversalRV atlas: certify the profile on the
-    graph (coverage once, labels per pair), budget each STIC from its
-    verdict via :func:`universal_stic_budget`, and simulate every STIC
-    with delay up to ``max_delta`` through
+    graph (coverage once, per-node labels encoded once and compared
+    across all pairs), budget each STIC from its verdict via
+    :func:`universal_stic_budget`, and simulate every STIC with delay
+    up to ``max_delta`` through
     :func:`repro.symmetry.empirical_feasibility_atlas` in one batched
     sweep.  Returns the list of atlas entries.
     """
     from repro.symmetry.feasibility import empirical_feasibility_atlas
 
     certify_graph(graph, profile)
-    for u in range(graph.n):
-        for v in range(u + 1, graph.n):
-            certify_labels(graph, u, v, profile)
+    certify_all_labels(graph, profile)
 
     def budget(u: int, v: int, delta: int, verdict: FeasibilityVerdict) -> int:
         return universal_stic_budget(

@@ -56,6 +56,8 @@ class PortLabeledGraph:
         "_succ_node",
         "_succ_port",
         "_max_degree",
+        "_canonical_cache",
+        "_hash_cache",
     )
 
     def __init__(self, n: int, edges: Iterable[Edge], *, validate: bool = True) -> None:
@@ -97,6 +99,8 @@ class PortLabeledGraph:
         self._succ_node = succ_node
         self._succ_port = succ_port
         self._max_degree = max_degree
+        self._canonical_cache: tuple[Edge, ...] | None = None
+        self._hash_cache: int | None = None
 
         if validate:
             self._validate_simple()
@@ -241,13 +245,20 @@ class PortLabeledGraph:
 
     def _canonical_edges(self) -> tuple[Edge, ...]:
         """Edges with the lower-id endpoint first, sorted — the
-        orientation-insensitive identity used by ``__eq__``/``__hash__``."""
-        return tuple(
-            sorted(
-                (u, pu, v, pv) if u <= v else (v, pv, u, pu)
-                for u, pu, v, pv in self._edges
+        orientation-insensitive identity used by ``__eq__``/``__hash__``.
+
+        Memoized: instances are immutable, and the per-graph symmetry
+        kernel cache (:func:`repro.symmetry.context.symmetry_context`)
+        hashes graphs on every wrapper call.
+        """
+        if self._canonical_cache is None:
+            self._canonical_cache = tuple(
+                sorted(
+                    (u, pu, v, pv) if u <= v else (v, pv, u, pu)
+                    for u, pu, v, pv in self._edges
+                )
             )
-        )
+        return self._canonical_cache
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PortLabeledGraph):
@@ -255,7 +266,9 @@ class PortLabeledGraph:
         return self._n == other._n and self._canonical_edges() == other._canonical_edges()
 
     def __hash__(self) -> int:
-        return hash((self._n, self._canonical_edges()))
+        if self._hash_cache is None:
+            self._hash_cache = hash((self._n, self._canonical_edges()))
+        return self._hash_cache
 
     # ------------------------------------------------------------------
     # Validation

@@ -26,6 +26,11 @@ precompute a UXS walk.  This module exploits it in two stages:
    ``trace_u(t) == trace_v(t - delta)`` — found by merging the two
    traces' O(#moves) breakpoints, never by stepping rounds.
 
+Atlas-style sweeps pair this engine with the per-graph symmetry
+kernel (:mod:`repro.symmetry.context`): the kernel classifies every
+STIC (view colors + all-pairs Shrink, computed once per graph) and
+sizes the budgets; this engine simulates them.
+
 :func:`run_rendezvous_batch` returns per-STIC
 :class:`~repro.sim.scheduler.RendezvousResult` objects whose ``met``,
 ``meeting_node``, ``meeting_time``, ``time_from_later`` and

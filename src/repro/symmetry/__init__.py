@@ -1,5 +1,12 @@
-"""Views, symmetry, Shrink, and STIC feasibility (Sections 2-3)."""
+"""Views, symmetry, Shrink, and STIC feasibility (Sections 2-3).
 
+The scalar entry points below are thin wrappers over the per-graph
+array kernel (:class:`~repro.symmetry.context.SymmetryContext`); sweeps
+that touch many pairs of one graph can grab the kernel directly via
+:func:`~repro.symmetry.context.symmetry_context`.
+"""
+
+from repro.symmetry.context import SymmetryContext, symmetry_context
 from repro.symmetry.feasibility import (
     ASYNC_EDGE_MEETING_ONLY,
     ASYNC_NEVER_MEETS,
@@ -12,7 +19,12 @@ from repro.symmetry.feasibility import (
     empirical_feasibility_atlas,
     is_feasible,
 )
-from repro.symmetry.shrink import all_pairs_distances, shrink, shrink_witness
+from repro.symmetry.shrink import (
+    all_pairs_distances,
+    shrink,
+    shrink_witness,
+    shrink_witness_reference,
+)
 from repro.symmetry.structure import (
     DelayProfile,
     delay_profile,
@@ -26,12 +38,16 @@ from repro.symmetry.views import (
     truncated_view,
     view_class_of,
     view_classes,
+    view_classes_reference,
     view_signature,
 )
 
 __all__ = [
+    "SymmetryContext",
+    "symmetry_context",
     "truncated_view",
     "view_classes",
+    "view_classes_reference",
     "view_class_of",
     "are_symmetric",
     "symmetric_pairs",
@@ -43,6 +59,7 @@ __all__ = [
     "delay_profile",
     "min_universal_delay",
     "shrink_witness",
+    "shrink_witness_reference",
     "all_pairs_distances",
     "FeasibilityVerdict",
     "classify_stic",

@@ -1,0 +1,345 @@
+"""Per-graph symmetry kernel: views, distances, and all-pairs Shrink
+computed once, in numpy.
+
+The scalar analysis layer re-derives symmetry data per call:
+:func:`repro.symmetry.views.view_classes` walks a tuple-dict refinement
+loop, and :func:`repro.symmetry.shrink.shrink_witness` runs one
+Python-dict BFS over the product graph *per pair*.  Sweeps that touch
+every pair of a graph — atlases, ``shrink_matrix``, STIC enumeration —
+therefore pay ``O(n^2)`` scalar reconstructions of the same facts.
+
+:class:`SymmetryContext` computes each fact once per graph:
+
+* **view colors** by array-based partition refinement: one
+  ``np.unique`` over per-node signature rows per round, renumbered by
+  first occurrence so the colors are bit-identical to
+  :func:`~repro.symmetry.views.view_classes`;
+* **all-pairs distances** by frontier BFS from all sources at once
+  (one boolean matrix product per BFS level);
+* **all-pairs Shrink** by value iteration on the ``n^2``-state product
+  graph: start from the distance matrix and relax
+  ``S[x, y] <- min(S[x, y], S[succ(x, p), succ(y, p)])`` with one
+  gather per port per sweep until the (unique, monotone) fixpoint —
+  every pair is solved simultaneously instead of one BFS per pair.
+
+Derived products (symmetric pairs, per-pair feasibility verdicts,
+witness reconstruction) are served from the cached arrays.  The scalar
+functions in :mod:`~repro.symmetry.views`, :mod:`~repro.symmetry.shrink`
+and :mod:`~repro.symmetry.feasibility` are thin wrappers over this
+kernel; their outputs are unchanged (enforced by the differential
+suite in ``tests/symmetry/test_context_differential.py``).
+
+Contexts are memoized per graph (keyed by graph equality) in a small
+LRU, so repeated scalar-style calls on the same graph hit the kernel's
+arrays instead of recomputing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.graphs.port_graph import PortLabeledGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (feasibility
+    # imports this module at runtime; see verdict()).
+    from repro.symmetry.feasibility import FeasibilityVerdict
+
+__all__ = ["SymmetryContext", "symmetry_context"]
+
+
+def _rank_by_first_occurrence(first_index: np.ndarray) -> np.ndarray:
+    """Map sorted-unique class ids to first-occurrence order.
+
+    ``np.unique`` numbers classes in sorted order; the scalar
+    canonicalizers number them by first occurrence.  Given the first
+    index of each sorted class, return the renumbering that restores
+    first-occurrence order.
+    """
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order), dtype=np.int64)
+    return rank
+
+
+def _canonical_codes(values: np.ndarray) -> np.ndarray:
+    """First-occurrence canonical codes of a 1-D integer array."""
+    _, first, inverse = np.unique(
+        values, return_index=True, return_inverse=True
+    )
+    return _rank_by_first_occurrence(first)[inverse.reshape(-1)]
+
+
+def _canonical_codes_rows(rows: np.ndarray) -> np.ndarray:
+    """First-occurrence canonical codes of the rows of a 2-D array."""
+    _, first, inverse = np.unique(
+        rows, axis=0, return_index=True, return_inverse=True
+    )
+    return _rank_by_first_occurrence(first)[inverse.reshape(-1)]
+
+
+class SymmetryContext:
+    """All symmetry facts of one port-labeled graph, as numpy arrays.
+
+    Construction computes the view-color partition; distances and the
+    all-pairs Shrink matrix are computed lazily on first access (the
+    color partition alone serves many callers).  Use
+    :func:`symmetry_context` to share contexts across call sites.
+    """
+
+    __slots__ = ("graph", "_colors", "_distances", "_shrink")
+
+    def __init__(self, graph: PortLabeledGraph) -> None:
+        self.graph = graph
+        self._colors = self._compute_colors()
+        self._colors.setflags(write=False)
+        self._distances: np.ndarray | None = None
+        self._shrink: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # View colors (array-based partition refinement)
+    # ------------------------------------------------------------------
+    def _compute_colors(self) -> np.ndarray:
+        graph = self.graph
+        n = graph.n
+        succ = graph.succ_node_array
+        entry = graph.succ_port_array
+        valid = succ >= 0
+        safe_succ = np.where(valid, succ, 0)
+        # Entry ports are >= 0 wherever valid, so -1 padding encodes the
+        # degree into the signature row exactly as tuple length does in
+        # the scalar signatures.
+        padded_entry = np.where(valid, entry, -1)
+
+        colors = _canonical_codes(graph.degrees)
+        rows = np.empty((n, 1 + 2 * succ.shape[1]), dtype=np.int64)
+        rows[:, 1::2] = padded_entry
+        for _ in range(max(n - 1, 1)):
+            rows[:, 0] = colors
+            rows[:, 2::2] = np.where(valid, colors[safe_succ], -1)
+            new_colors = _canonical_codes_rows(rows)
+            if np.array_equal(new_colors, colors):
+                break
+            colors = new_colors
+        return colors
+
+    @property
+    def colors(self) -> np.ndarray:
+        """Canonical view colors (read-only; same values as
+        :func:`~repro.symmetry.views.view_classes`)."""
+        return self._colors
+
+    def color_list(self) -> list[int]:
+        """Colors as a plain list (the scalar wrappers' return type)."""
+        return [int(c) for c in self._colors]
+
+    def are_symmetric(self, u: int, v: int) -> bool:
+        """True iff ``u`` and ``v`` have equal views."""
+        return bool(self._colors[u] == self._colors[v])
+
+    def symmetric_pairs(self) -> list[tuple[int, int]]:
+        """All unordered pairs ``u < v`` of distinct symmetric nodes."""
+        colors = self._colors
+        same = colors[:, None] == colors[None, :]
+        us, vs = np.nonzero(np.triu(same, k=1))
+        return [(int(u), int(v)) for u, v in zip(us, vs)]
+
+    def orbits(self) -> list[list[int]]:
+        """Nodes grouped by view color, in canonical color order."""
+        groups: dict[int, list[int]] = {}
+        for v, c in enumerate(self._colors):
+            groups.setdefault(int(c), []).append(v)
+        return [groups[c] for c in sorted(groups)]
+
+    # ------------------------------------------------------------------
+    # Distances (frontier BFS from all sources at once)
+    # ------------------------------------------------------------------
+    @property
+    def distances(self) -> np.ndarray:
+        """All-pairs shortest-path distances (``n x n``, computed once).
+
+        The array is shared and marked read-only — mutating it would
+        poison the memoized kernel; copy before editing.
+        """
+        if self._distances is None:
+            self._distances = self._compute_distances()
+            self._distances.setflags(write=False)
+        return self._distances
+
+    def _compute_distances(self) -> np.ndarray:
+        graph = self.graph
+        n = graph.n
+        succ = graph.succ_node_array
+        # int64 accumulators: a uint8 matmul would wrap mod 256 and
+        # drop nodes whose frontier in-degree is a multiple of 256.
+        adjacency = np.zeros((n, n), dtype=np.int64)
+        valid = succ >= 0
+        rows = np.repeat(np.arange(n), succ.shape[1])[valid.ravel()]
+        adjacency[rows, succ[valid]] = 1
+
+        dist = np.full((n, n), -1, dtype=np.int64)
+        np.fill_diagonal(dist, 0)
+        frontier = np.eye(n, dtype=np.int64)
+        level = 0
+        while True:
+            level += 1
+            reached = (frontier @ adjacency) > 0
+            new = reached & (dist == -1)
+            if not new.any():
+                break
+            dist[new] = level
+            frontier = new.astype(np.int64)
+        return dist
+
+    # ------------------------------------------------------------------
+    # All-pairs Shrink (value iteration on the product graph)
+    # ------------------------------------------------------------------
+    @property
+    def shrink_all(self) -> np.ndarray:
+        """``Shrink(u, v)`` for *every* ordered pair (``n x n``).
+
+        Defined for arbitrary pairs by restricting to ports valid at
+        both nodes (the paper's definition on symmetric pairs, where
+        degrees agree along the way).  Symmetric by construction;
+        0 on the diagonal.  Shared and read-only, like
+        :attr:`distances`.
+        """
+        if self._shrink is None:
+            self._shrink = self._compute_shrink()
+            self._shrink.setflags(write=False)
+        return self._shrink
+
+    def _compute_shrink(self) -> np.ndarray:
+        graph = self.graph
+        succ = graph.succ_node_array
+        values = self.distances.copy()
+        port_pairs = []
+        for p in range(succ.shape[1]):
+            targets = succ[:, p]
+            valid = targets >= 0
+            if not valid.any():  # pragma: no cover - max_degree is tight
+                continue
+            port_pairs.append(
+                (
+                    np.where(valid, targets, 0),
+                    valid[:, None] & valid[None, :],
+                )
+            )
+
+        # Monotone fixpoint: Shrink(x, y) = min(dist(x, y),
+        # min_p Shrink(succ(x, p), succ(y, p))).  Each sweep relaxes
+        # every product edge once (one gather per port); values only
+        # decrease, so convergence is the exact minimum over the
+        # reachable set — the same quantity the per-pair BFS computes.
+        while True:
+            changed = False
+            for targets, mask in port_pairs:
+                pulled = values[np.ix_(targets, targets)]
+                improved = mask & (pulled < values)
+                if improved.any():
+                    values[improved] = pulled[improved]
+                    changed = True
+            if not changed:
+                break
+        return values
+
+    def shrink_value(self, u: int, v: int) -> int:
+        """``Shrink(u, v)`` of Definition 3.1 (0 when ``u == v``)."""
+        return int(self.shrink_all[u, v])
+
+    def shrink_matrix(self) -> np.ndarray:
+        """Shrink for symmetric pairs, ``-1`` for non-symmetric pairs,
+        0 on the diagonal — the :func:`repro.symmetry.shrink_matrix`
+        contract."""
+        colors = self._colors
+        symmetric = colors[:, None] == colors[None, :]
+        out = np.where(symmetric, self.shrink_all, np.int64(-1))
+        np.fill_diagonal(out, 0)
+        return out
+
+    def shrink_witness(
+        self, u: int, v: int
+    ) -> tuple[int, tuple[int, ...], tuple[int, int]]:
+        """``Shrink(u, v)`` with a shortest witness sequence.
+
+        Same BFS (and hence the same witness) as the scalar
+        :func:`repro.symmetry.shrink.shrink_witness`, fed from the
+        cached distance matrix.
+        """
+        if u == v:
+            return 0, (), (u, v)
+        graph = self.graph
+        dist = self.distances
+        succ = graph.succ_node_array
+        degrees = graph.degrees
+
+        start = (u, v)
+        parent: dict[tuple[int, int], tuple[tuple[int, int], int] | None]
+        parent = {start: None}
+        best_pair = start
+        best = int(dist[u, v])
+        queue: deque[tuple[int, int]] = deque([start])
+        while queue:
+            x, y = queue.popleft()
+            limit = int(min(degrees[x], degrees[y]))
+            for p in range(limit):
+                nxt = (int(succ[x, p]), int(succ[y, p]))
+                if nxt in parent:
+                    continue
+                parent[nxt] = ((x, y), p)
+                d = int(dist[nxt[0], nxt[1]])
+                if d < best:
+                    best = d
+                    best_pair = nxt
+                    if best == 0:
+                        queue.clear()
+                        break
+                queue.append(nxt)
+
+        alpha: list[int] = []
+        cursor: tuple[int, int] | None = best_pair
+        while parent[cursor] is not None:  # type: ignore[index]
+            prev, port = parent[cursor]  # type: ignore[misc, index]
+            alpha.append(port)
+            cursor = prev
+        alpha.reverse()
+        return best, tuple(alpha), best_pair
+
+    # ------------------------------------------------------------------
+    # Feasibility (Corollary 3.1)
+    # ------------------------------------------------------------------
+    def verdict(self, u: int, v: int, delta: int) -> "FeasibilityVerdict":
+        """The Corollary 3.1 verdict for STIC ``[(u, v), delta]``."""
+        # Local import: repro.symmetry.feasibility wraps this module.
+        from repro.symmetry.feasibility import classify_from_symmetry
+
+        if delta < 0:
+            raise ValueError(f"delay must be non-negative, got {delta}")
+        if u == v:
+            raise ValueError("the model requires distinct initial nodes")
+        if not self.are_symmetric(u, v):
+            return classify_from_symmetry(False, None, delta)
+        return classify_from_symmetry(True, self.shrink_value(u, v), delta)
+
+
+# Contexts are cached per graph *value* (PortLabeledGraph hashes by its
+# canonical edge list), so equal graphs constructed independently share
+# one kernel.  The LRU bound keeps long-lived processes from pinning
+# arrays for every graph they ever touched.
+_CONTEXT_CACHE: OrderedDict[PortLabeledGraph, SymmetryContext] = OrderedDict()
+_CONTEXT_CACHE_MAX = 64
+
+
+def symmetry_context(graph: PortLabeledGraph) -> SymmetryContext:
+    """The (memoized) :class:`SymmetryContext` of ``graph``."""
+    context = _CONTEXT_CACHE.get(graph)
+    if context is not None:
+        _CONTEXT_CACHE.move_to_end(graph)
+        return context
+    context = SymmetryContext(graph)
+    _CONTEXT_CACHE[graph] = context
+    while len(_CONTEXT_CACHE) > _CONTEXT_CACHE_MAX:
+        _CONTEXT_CACHE.popitem(last=False)
+    return context

@@ -37,8 +37,7 @@ from repro.sim.schedule_adversary import (
     run_schedule_sweep,
 )
 from repro.sim.scheduler import RendezvousResult
-from repro.symmetry.shrink import shrink
-from repro.symmetry.views import are_symmetric, view_classes
+from repro.symmetry.context import symmetry_context
 
 __all__ = [
     "FeasibilityVerdict",
@@ -119,14 +118,13 @@ def classify_from_symmetry(
 def classify_stic(
     graph: PortLabeledGraph, u: int, v: int, delta: int
 ) -> FeasibilityVerdict:
-    """Apply the characterization of Corollary 3.1 to ``[(u, v), delta]``."""
-    if delta < 0:
-        raise ValueError(f"delay must be non-negative, got {delta}")
-    if u == v:
-        raise ValueError("the model requires distinct initial nodes")
-    if not are_symmetric(graph, u, v):
-        return classify_from_symmetry(False, None, delta)
-    return classify_from_symmetry(True, shrink(graph, u, v), delta)
+    """Apply the characterization of Corollary 3.1 to ``[(u, v), delta]``.
+
+    Served by the per-graph kernel: view colors and all-pairs Shrink
+    are computed once per graph, so classifying every STIC of a sweep
+    costs one kernel run.
+    """
+    return symmetry_context(graph).verdict(u, v, delta)
 
 
 def is_feasible(graph: PortLabeledGraph, u: int, v: int, delta: int) -> bool:
@@ -256,12 +254,13 @@ def async_feasibility_atlas(
         ]
     else:
         pair_list = [(int(u), int(v)) for u, v in pairs]
-    colors = view_classes(graph)
+    context = symmetry_context(graph)
+    colors = context.colors
     cells = [(u, v, s) for (u, v) in pair_list for s in schedules]
     outcomes = run_schedule_sweep(
         graph, cells, algorithm, max_events=max_events, compiler=compiler
     )
     return [
-        AsyncAtlasEntry(u, v, s, colors[u] == colors[v], outcome)
+        AsyncAtlasEntry(u, v, s, bool(colors[u] == colors[v]), outcome)
         for (u, v, s), outcome in zip(cells, outcomes)
     ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.symmetry.views import view_classes
+from repro.symmetry.context import symmetry_context
 
 __all__ = ["QuotientGraph", "quotient_graph", "port_automorphisms"]
 
@@ -55,7 +55,7 @@ class QuotientGraph:
 
 def quotient_graph(graph: PortLabeledGraph) -> QuotientGraph:
     """Compute the view-class quotient (see :class:`QuotientGraph`)."""
-    colors = view_classes(graph)
+    colors = symmetry_context(graph).color_list()
     classes = max(colors) + 1
     representative = [-1] * classes
     for v, c in enumerate(colors):
@@ -105,7 +105,7 @@ def port_automorphisms(graph: PortLabeledGraph) -> list[tuple[int, ...]]:
     about exhaustively.
     """
     n = graph.n
-    colors = view_classes(graph)
+    colors = symmetry_context(graph).color_list()
     autos: list[tuple[int, ...]] = []
     for image_of_0 in range(n):
         if colors[image_of_0] != colors[0]:

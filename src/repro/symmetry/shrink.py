@@ -13,6 +13,14 @@ For symmetric pairs the two components always have equal degrees
 (views are equal along the way); the implementation nevertheless
 handles arbitrary pairs by restricting to ports valid at both nodes,
 which coincides with the paper's definition on its domain.
+
+The per-pair entry points are thin wrappers over the per-graph kernel
+(:mod:`repro.symmetry.context`), which solves *all* pairs at once by
+value iteration on the product graph and memoizes the result; repeated
+queries against one graph therefore cost one kernel run, not one BFS
+each.  The original Python-dict BFS is retained as
+:func:`shrink_witness_reference` for the differential suite and the
+benchmarks.
 """
 
 from __future__ import annotations
@@ -22,13 +30,23 @@ from collections import deque
 import numpy as np
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.symmetry.context import symmetry_context
 
-__all__ = ["shrink", "shrink_witness", "all_pairs_distances"]
+__all__ = [
+    "shrink",
+    "shrink_witness",
+    "shrink_witness_reference",
+    "all_pairs_distances",
+]
 
 
 def all_pairs_distances(graph: PortLabeledGraph) -> np.ndarray:
-    """All-pairs shortest path distances (``n x n`` int matrix)."""
-    return np.stack([graph.distances_from(v) for v in range(graph.n)])
+    """All-pairs shortest path distances (``n x n`` int matrix).
+
+    Returns a fresh, caller-writable copy of the kernel's cached
+    matrix — same contract as the original per-source BFS stack.
+    """
+    return symmetry_context(graph).distances.copy()
 
 
 def shrink_witness(
@@ -41,10 +59,22 @@ def shrink_witness(
     at distance ``value``, and no common sequence achieves a smaller
     distance.
     """
+    return symmetry_context(graph).shrink_witness(u, v)
+
+
+def shrink_witness_reference(
+    graph: PortLabeledGraph, u: int, v: int
+) -> tuple[int, tuple[int, ...], tuple[int, int]]:
+    """The retained per-pair BFS (pre-kernel reference).
+
+    One Python-dict BFS over the product graph, recomputing all-pairs
+    distances on every call — exactly what the seed shipped.  Kept as
+    the differential baseline and the scalar side of the all-pairs
+    benchmarks; production callers use :func:`shrink_witness`.
+    """
     if u == v:
         return 0, (), (u, v)
-    dist = all_pairs_distances(graph)
-    n = graph.n
+    dist = np.stack([graph.distances_from(w) for w in range(graph.n)])
     succ = graph.succ_node_array
     degrees = graph.degrees
 
@@ -82,4 +112,4 @@ def shrink_witness(
 
 def shrink(graph: PortLabeledGraph, u: int, v: int) -> int:
     """``Shrink(u, v)`` of Definition 3.1 (0 when ``u == v``)."""
-    return shrink_witness(graph, u, v)[0]
+    return symmetry_context(graph).shrink_value(u, v)

@@ -13,8 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.symmetry.shrink import shrink
-from repro.symmetry.views import view_classes
+from repro.symmetry.context import symmetry_context
 
 __all__ = [
     "shrink_matrix",
@@ -28,18 +27,12 @@ __all__ = [
 def shrink_matrix(graph: PortLabeledGraph) -> np.ndarray:
     """Matrix ``S`` with ``S[u, v] = Shrink(u, v)`` for symmetric pairs
     and ``-1`` for non-symmetric pairs (where the notion is moot and
-    every delay works anyway).  ``S[v, v] = 0``."""
-    n = graph.n
-    colors = view_classes(graph)
-    out = np.full((n, n), -1, dtype=np.int64)
-    np.fill_diagonal(out, 0)
-    for u in range(n):
-        for v in range(u + 1, n):
-            if colors[u] == colors[v]:
-                s = shrink(graph, u, v)
-                out[u, v] = s
-                out[v, u] = s
-    return out
+    every delay works anyway).  ``S[v, v] = 0``.
+
+    One masked read of the kernel's all-pairs Shrink matrix — no
+    per-pair BFS.
+    """
+    return symmetry_context(graph).shrink_matrix()
 
 
 def symmetry_orbits(graph: PortLabeledGraph) -> list[list[int]]:
@@ -48,11 +41,7 @@ def symmetry_orbits(graph: PortLabeledGraph) -> list[list[int]]:
     For vertex-transitive port labelings this is one orbit; each orbit
     of size >= 2 is a set of mutually indistinguishable positions.
     """
-    colors = view_classes(graph)
-    orbits: dict[int, list[int]] = {}
-    for v, c in enumerate(colors):
-        orbits.setdefault(c, []).append(v)
-    return [orbits[c] for c in sorted(orbits)]
+    return symmetry_context(graph).orbits()
 
 
 @dataclass(frozen=True)

@@ -15,15 +15,24 @@ Two complementary implementations:
   rounds (Norris' theorem: views equal to depth ``n - 1`` are equal at
   all depths).  This is the polynomial-time oracle used by the
   simulator, ``Shrink``, and feasibility checks.
+
+:func:`view_classes` and its derivatives are thin wrappers over the
+per-graph kernel (:mod:`repro.symmetry.context`), which runs the same
+refinement as one ``np.unique`` per round and memoizes the result per
+graph.  The original tuple-dict refinement loop is retained as
+:func:`view_classes_reference` for the differential suite and the
+benchmarks.
 """
 
 from __future__ import annotations
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.symmetry.context import symmetry_context
 
 __all__ = [
     "truncated_view",
     "view_classes",
+    "view_classes_reference",
     "view_class_of",
     "are_symmetric",
     "symmetric_pairs",
@@ -63,10 +72,21 @@ def view_classes(graph: PortLabeledGraph) -> list[int]:
     """Partition nodes by view equality; returns a color per node.
 
     Colors are canonical: two nodes have the same color iff their
-    (infinite) views are equal.  Runs iterated refinement until the
-    partition stabilizes — at most ``n - 1`` iterations by Norris'
-    theorem — and renumbers colors by first occurrence so the output
-    is deterministic.
+    (infinite) views are equal, renumbered by first occurrence so the
+    output is deterministic.  Served by the memoized array kernel
+    (:func:`repro.symmetry.context.symmetry_context`); bit-identical
+    to :func:`view_classes_reference`.
+    """
+    return symmetry_context(graph).color_list()
+
+
+def view_classes_reference(graph: PortLabeledGraph) -> list[int]:
+    """The retained scalar refinement loop (pre-kernel reference).
+
+    Runs iterated refinement until the partition stabilizes — at most
+    ``n - 1`` iterations by Norris' theorem.  Kept as the differential
+    baseline for the kernel's array-based refinement; production
+    callers use :func:`view_classes`.
     """
     n = graph.n
     colors = [graph.degree(v) for v in range(n)]
@@ -111,24 +131,17 @@ def _canonicalize_signatures(signatures: list) -> list[int]:
 
 def view_class_of(graph: PortLabeledGraph, v: int) -> int:
     """Color of ``v`` in the canonical view partition."""
-    return view_classes(graph)[v]
+    return int(symmetry_context(graph).colors[v])
 
 
 def are_symmetric(graph: PortLabeledGraph, u: int, v: int) -> bool:
     """True iff ``u`` and ``v`` have equal views (are *symmetric*)."""
-    colors = view_classes(graph)
-    return colors[u] == colors[v]
+    return symmetry_context(graph).are_symmetric(u, v)
 
 
 def symmetric_pairs(graph: PortLabeledGraph) -> list[tuple[int, int]]:
     """All unordered pairs ``u < v`` of distinct symmetric nodes."""
-    colors = view_classes(graph)
-    pairs = []
-    for u in range(graph.n):
-        for v in range(u + 1, graph.n):
-            if colors[u] == colors[v]:
-                pairs.append((u, v))
-    return pairs
+    return symmetry_context(graph).symmetric_pairs()
 
 
 def view_signature(graph: PortLabeledGraph, v: int, depth: int) -> bytes:

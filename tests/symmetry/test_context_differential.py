@@ -1,0 +1,193 @@
+"""Differential suite: the array kernel against the scalar references.
+
+``SymmetryContext`` must be *bit-identical* to the retained scalar
+implementations on every product it serves: canonical view colors
+(``view_classes_reference``), all-pairs distances (per-source BFS),
+``Shrink`` values (per-pair product-graph BFS), witnesses (same BFS,
+same traversal order), symmetric pairs, and Corollary 3.1 verdicts.
+Coverage: 200+ seeded random connected graphs of mixed sizes and
+degrees, plus the exhaustive class of all port-labeled graphs on
+``n <= 4`` nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.enumeration import enumerate_port_labeled_graphs
+from repro.graphs.families import (
+    hypercube,
+    oriented_ring,
+    oriented_torus,
+    symmetric_tree,
+)
+from repro.graphs.random_graphs import random_connected_graph, random_tree
+from repro.symmetry.context import SymmetryContext, symmetry_context
+from repro.symmetry.feasibility import classify_from_symmetry, classify_stic
+from repro.symmetry.shrink import shrink_witness_reference
+from repro.symmetry.views import view_classes, view_classes_reference
+
+
+def random_pool():
+    """216 seeded random connected graphs, mixed sizes and degrees."""
+    graphs = []
+    for n in (2, 3, 5, 6, 8, 10, 13):
+        for extra in (0, 1, 3, 6):
+            for seed in range(7):
+                graphs.append(random_connected_graph(n, extra, seed=seed))
+    for n in (4, 9):
+        for seed in range(10):
+            graphs.append(random_tree(n, seed=seed))
+    return graphs
+
+
+STRUCTURED = [
+    oriented_ring(6),
+    oriented_ring(9),
+    oriented_torus(3, 4),
+    oriented_torus(4, 4),
+    hypercube(3),
+    symmetric_tree(2, 2),
+]
+
+
+def reference_scalar_facts(graph):
+    """Colors / pairs / shrink values straight from the retained
+    scalar implementations (no kernel involvement)."""
+    colors = view_classes_reference(graph)
+    pairs = [
+        (u, v)
+        for u in range(graph.n)
+        for v in range(u + 1, graph.n)
+        if colors[u] == colors[v]
+    ]
+    shrink_values = {
+        (u, v): shrink_witness_reference(graph, u, v)[0]
+        for u in range(graph.n)
+        for v in range(u + 1, graph.n)
+    }
+    return colors, pairs, shrink_values
+
+
+def assert_context_matches(graph):
+    context = SymmetryContext(graph)
+    colors, pairs, shrink_values = reference_scalar_facts(graph)
+
+    assert context.color_list() == colors
+    assert view_classes(graph) == colors
+    assert context.symmetric_pairs() == pairs
+
+    reference_dist = np.stack(
+        [graph.distances_from(v) for v in range(graph.n)]
+    )
+    assert np.array_equal(context.distances, reference_dist)
+
+    for (u, v), s in shrink_values.items():
+        assert context.shrink_value(u, v) == s, (graph, u, v)
+        assert context.shrink_value(v, u) == s
+        reference = shrink_witness_reference(graph, u, v)
+        assert context.shrink_witness(u, v) == reference, (graph, u, v)
+    for v in range(graph.n):
+        assert context.shrink_value(v, v) == 0
+
+    for u, v in pairs[:8] + [p for p in shrink_values if p not in pairs][:8]:
+        symmetric = colors[u] == colors[v]
+        for delta in (0, 1, shrink_values[(u, v)]):
+            expected = classify_from_symmetry(
+                symmetric, shrink_values[(u, v)] if symmetric else None, delta
+            )
+            assert classify_stic(graph, u, v, delta) == expected
+
+
+@pytest.mark.parametrize("index", range(13))
+def test_random_graphs_bit_identical(index):
+    """>= 200 random graphs, sharded for parallel-friendly runtimes."""
+    pool = random_pool()
+    assert len(pool) >= 200
+    for graph in pool[index::13]:
+        assert_context_matches(graph)
+
+
+@pytest.mark.parametrize("graph", STRUCTURED, ids=lambda g: repr(g))
+def test_structured_families_bit_identical(graph):
+    assert_context_matches(graph)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_exhaustive_tiny_classes(n):
+    for graph in enumerate_port_labeled_graphs(n):
+        assert_context_matches(graph)
+
+
+def test_exhaustive_n4_class():
+    """All 2568 port-labeled graphs on 4 nodes: colors, Shrink, and
+    verdicts agree with the scalar references everywhere."""
+    count = 0
+    for graph in enumerate_port_labeled_graphs(4):
+        count += 1
+        context = SymmetryContext(graph)
+        colors, pairs, shrink_values = reference_scalar_facts(graph)
+        assert context.color_list() == colors
+        assert context.symmetric_pairs() == pairs
+        for (u, v), s in shrink_values.items():
+            assert context.shrink_value(u, v) == s
+            symmetric = colors[u] == colors[v]
+            for delta in (0, s):
+                expected = classify_from_symmetry(
+                    symmetric, s if symmetric else None, delta
+                )
+                assert context.verdict(u, v, delta) == expected
+    assert count == 2568
+
+
+def test_witness_is_valid_and_optimal():
+    """Witness sequences are applicable at both nodes and realize the
+    Shrink value (spot check on structured + random graphs)."""
+    graphs = STRUCTURED + [random_connected_graph(8, 3, seed=s) for s in range(4)]
+    for graph in graphs:
+        context = symmetry_context(graph)
+        for u, v in context.symmetric_pairs():
+            value, alpha, (x, y) = context.shrink_witness(u, v)
+            assert graph.apply_port_sequence(u, alpha) == x
+            assert graph.apply_port_sequence(v, alpha) == y
+            assert graph.distance(x, y) == value
+            assert value == context.shrink_value(u, v)
+
+
+def test_context_is_memoized_per_graph_value():
+    g1 = oriented_ring(7)
+    g2 = oriented_ring(7)
+    assert symmetry_context(g1) is symmetry_context(g2)
+    assert symmetry_context(g1) is not symmetry_context(oriented_ring(8))
+
+
+def test_cached_arrays_are_read_only():
+    """The kernel's shared arrays refuse in-place mutation (a silent
+    write would poison every later wrapper call for that graph)."""
+    context = symmetry_context(oriented_ring(6))
+    with pytest.raises(ValueError):
+        context.colors[0] = 99
+    with pytest.raises(ValueError):
+        context.distances[0, 0] = 99
+    with pytest.raises(ValueError):
+        context.shrink_all[0, 0] = 99
+    # Masked/derived views stay caller-writable.
+    context.shrink_matrix()[0, 0] = 99
+
+
+def test_wide_frontier_distances_no_overflow():
+    """Regression: a uint8 BFS accumulator wraps mod 256, so a node
+    with 256 frontier in-neighbors was never marked reached."""
+    from repro.graphs.port_graph import PortLabeledGraph
+
+    edges = []
+    for i in range(256):
+        middle = 1 + i
+        edges.append((0, i, middle, 0))
+        edges.append((middle, 1, 257, i))
+    graph = PortLabeledGraph(258, edges)
+    context = SymmetryContext(graph)
+    assert int(context.distances[0, 257]) == 2
+    reference = np.stack(
+        [graph.distances_from(v) for v in range(graph.n)]
+    )
+    assert np.array_equal(context.distances, reference)
