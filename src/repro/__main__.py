@@ -1,7 +1,9 @@
 """``python -m repro`` — run the reproduction's experiment suite.
 
-Delegates to :mod:`repro.experiments.runner`; see
-``python -m repro --help`` for options.
+Delegates to :mod:`repro.experiments.runner` (scenario tiers, parallel
+sharded execution, content-addressed caching); see
+``python -m repro --help`` for options and docs/orchestration.md for
+the orchestration model.
 """
 
 import sys

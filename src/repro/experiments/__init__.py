@@ -1,8 +1,15 @@
 """Experiment drivers regenerating every artifact of the paper.
 
-See DESIGN.md §3 for the per-experiment index.  Each module exposes a
-``run(fast: bool) -> ExperimentRecord``; the registry lives in
-:mod:`repro.experiments.runner`.
+Each driver module declares a
+:class:`~repro.experiments.scenarios.ScenarioSpec` (its ``SCENARIO``)
+with named scale tiers and implements the sharded protocol
+``make_shards`` / ``run_shard`` / ``merge`` consumed by
+:mod:`repro.experiments.orchestrator`; the legacy
+``run(fast: bool) -> ExperimentRecord`` entry points remain as thin
+serial wrappers.  The registry lives in
+:mod:`repro.experiments.scenarios`; the CLI in
+:mod:`repro.experiments.runner`.  See docs/orchestration.md for the
+per-experiment index and the sharding/caching model.
 """
 
 from repro.experiments.records import ExperimentRecord, render_table

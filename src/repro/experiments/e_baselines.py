@@ -11,6 +11,9 @@ Positions the universal deterministic algorithm against:
 
 and demonstrates the Introduction's rendezvous => leader-election
 reduction on every successful deterministic run.
+
+Sharded per STIC case: each shard runs one case through every
+baseline plus the batched partner sweep.
 """
 
 from __future__ import annotations
@@ -29,18 +32,60 @@ from repro.core.universal import (
     universal_stic_budget,
 )
 from repro.experiments.records import ExperimentRecord
-from repro.graphs.families import (
-    oriented_ring,
-    oriented_torus,
-    path_graph,
-    star_graph,
-    torus_node,
-)
+from repro.experiments.scenarios import RunConfig, ScenarioSpec, build_graph
 from repro.sim.batch import run_rendezvous_batch
 from repro.sim.scheduler import run_rendezvous
 from repro.symmetry.feasibility import classify_stic
 
-__all__ = ["run", "universal_partner_sweep"]
+__all__ = ["run", "SCENARIO", "make_shards", "run_shard", "merge", "universal_partner_sweep"]
+
+_CASES = {
+    "ring6": ["ring n=6 sym", {"family": "oriented_ring", "n": 6}, 0, 3, 3],
+    "torus3": [
+        "torus 3x3 sym",
+        {"family": "oriented_torus", "rows": 3, "cols": 3},
+        0,
+        1,
+        1,
+    ],
+    "path4": ["path P4 nonsym", {"family": "path", "n": 4}, 0, 3, 1],
+    "star": ["star nonsym", {"family": "star", "leaves": 3}, 1, 3, 0],
+    "ring8": ["ring n=8 sym", {"family": "oriented_ring", "n": 8}, 0, 4, 4],
+    "path5": ["path P5 nonsym", {"family": "path", "n": 5}, 0, 4, 2],
+}
+
+_FAST_CASES = [_CASES["ring6"], _CASES["torus3"], _CASES["path4"], _CASES["star"]]
+
+SCENARIO = ScenarioSpec(
+    exp_id="EXP-BASE/LE",
+    title="Baselines vs UniversalRV; leader election from rendezvous",
+    module="repro.experiments.e_baselines",
+    shard_axis="STIC case (all baselines + partner sweep)",
+    tiers={
+        "smoke": {"cases": [_CASES["ring6"], _CASES["path4"]], "trials": 5},
+        "fast": {"cases": _FAST_CASES, "trials": 10},
+        "full": {
+            "cases": _FAST_CASES + [_CASES["ring8"], _CASES["path5"]],
+            "trials": 40,
+        },
+        "stress": {
+            "cases": _FAST_CASES
+            + [
+                _CASES["ring8"],
+                _CASES["path5"],
+                ["ring n=10 sym", {"family": "oriented_ring", "n": 10}, 0, 5, 5],
+                [
+                    "torus 4x4 sym",
+                    {"family": "oriented_torus", "rows": 4, "cols": 4},
+                    0,
+                    5,
+                    2,
+                ],
+            ],
+            "trials": 80,
+        },
+    },
+)
 
 
 def universal_partner_sweep(graph, u, delta, *, profile=TUNED, certified=False):
@@ -83,10 +128,77 @@ def universal_partner_sweep(graph, u, delta, *, profile=TUNED, certified=False):
     return list(zip(partners, results))
 
 
-def run(fast: bool = True) -> ExperimentRecord:
+def make_shards(config: RunConfig) -> list[dict]:
+    return [
+        {
+            "name": name,
+            "graph": graph_spec,
+            "u": u,
+            "v": v,
+            "delta": delta,
+            "trials": config.params["trials"],
+        }
+        for name, graph_spec, u, v, delta in config.params["cases"]
+    ]
+
+
+def run_shard(config: RunConfig, shard: dict) -> dict:
+    graph = build_graph(shard["graph"])
+    u, v, delta = shard["u"], shard["v"], shard["delta"]
+    verdict = classify_stic(graph, u, v, delta)
+    result = rendezvous(graph, u, v, delta, profile=TUNED, record_traces=True)
+    ok = result.met
+
+    # Batched sweep: UniversalRV must also meet every other feasible
+    # partner of u at this delay (one engine call per case; the
+    # rendezvous() above already certified the graph).
+    sweep = universal_partner_sweep(graph, u, delta, certified=True)
+    ok = ok and all(r.met for _, r in sweep)
+    sweep_cell = f"{sum(r.met for _, r in sweep)}/{len(sweep)}"
+
+    rw_mean, rw_fail = mean_meeting_time(
+        graph, u, v, delta, trials=shard["trials"], seed=42
+    )
+    ok = ok and rw_fail == 0
+
+    mommy = wait_for_mommy(graph, u, v, delta, TUNED.uxs(graph.n))
+    ok = ok and mommy.met
+
+    if verdict.symmetric:
+        asymm_cell = "n/a (sym)"
+    else:
+        algorithm = make_asymm_only_algorithm(TUNED)
+        oracles = (
+            UniversalOracle(graph, u, TUNED),
+            UniversalOracle(graph, v, TUNED),
+        )
+        asymm = run_rendezvous(
+            graph, u, v, delta, algorithm,
+            max_rounds=20_000_000, oracles=oracles,
+        )
+        ok = ok and asymm.met
+        asymm_cell = asymm.time_from_later
+
+    election = elect_leader(result)
+    return {
+        "ok": ok,
+        "row": {
+            "case": shard["name"],
+            "class": "sym" if verdict.symmetric else "nonsym",
+            "UniversalRV": result.time_from_later,
+            "partner sweep": sweep_cell,
+            "random walk (mean)": round(rw_mean, 1),
+            "mommy": mommy.time_from_later,
+            "asymm-only": asymm_cell,
+            "leader": f"agent{election.leader}/{election.rule}",
+        },
+    }
+
+
+def merge(config: RunConfig, shard_results: list[dict]) -> ExperimentRecord:
     record = ExperimentRecord(
-        exp_id="EXP-BASE/LE",
-        title="Baselines vs UniversalRV; leader election from rendezvous",
+        exp_id=SCENARIO.exp_id,
+        title=SCENARIO.title,
         paper_claim=(
             "Randomized walks meet in poly(n) expected time; with a leader "
             "oracle rendezvous needs one exploration; the asymmetric-only "
@@ -104,69 +216,9 @@ def run(fast: bool = True) -> ExperimentRecord:
             "leader",
         ],
     )
-    cases = [
-        ("ring n=6 sym", oriented_ring(6), 0, 3, 3),
-        ("torus 3x3 sym", oriented_torus(3, 3), 0, torus_node(0, 1, 3), 1),
-        ("path P4 nonsym", path_graph(4), 0, 3, 1),
-        ("star nonsym", star_graph(3), 1, 3, 0),
-    ]
-    if not fast:
-        cases += [
-            ("ring n=8 sym", oriented_ring(8), 0, 4, 4),
-            ("path P5 nonsym", path_graph(5), 0, 4, 2),
-        ]
-    trials = 10 if fast else 40
-
-    ok = True
-    for name, graph, u, v, delta in cases:
-        verdict = classify_stic(graph, u, v, delta)
-        result = rendezvous(graph, u, v, delta, profile=TUNED, record_traces=True)
-        ok = ok and result.met
-
-        # Batched sweep: UniversalRV must also meet every other feasible
-        # partner of u at this delay (one engine call per case; the
-        # rendezvous() above already certified the graph).
-        sweep = universal_partner_sweep(graph, u, delta, certified=True)
-        ok = ok and all(r.met for _, r in sweep)
-        sweep_cell = f"{sum(r.met for _, r in sweep)}/{len(sweep)}"
-
-        rw_mean, rw_fail = mean_meeting_time(
-            graph, u, v, delta, trials=trials, seed=42
-        )
-        ok = ok and rw_fail == 0
-
-        mommy = wait_for_mommy(graph, u, v, delta, TUNED.uxs(graph.n))
-        ok = ok and mommy.met
-
-        if verdict.symmetric:
-            asymm_cell = "n/a (sym)"
-        else:
-            algorithm = make_asymm_only_algorithm(TUNED)
-            oracles = (
-                UniversalOracle(graph, u, TUNED),
-                UniversalOracle(graph, v, TUNED),
-            )
-            asymm = run_rendezvous(
-                graph, u, v, delta, algorithm,
-                max_rounds=20_000_000, oracles=oracles,
-            )
-            ok = ok and asymm.met
-            asymm_cell = asymm.time_from_later
-
-        election = elect_leader(result)
-        record.add_row(
-            case=name,
-            **{
-                "class": "sym" if verdict.symmetric else "nonsym",
-                "UniversalRV": result.time_from_later,
-                "partner sweep": sweep_cell,
-                "random walk (mean)": round(rw_mean, 1),
-                "mommy": mommy.time_from_later,
-                "asymm-only": asymm_cell,
-                "leader": f"agent{election.leader}/{election.rule}",
-            },
-        )
-    record.passed = ok
+    for result in shard_results:
+        record.add_row(**result["row"])
+    record.passed = all(result["ok"] for result in shard_results)
     record.measured_summary = (
         "every baseline met on every applicable case: the leader-oracle and "
         "randomized baselines need no symmetry-breaking budget, the "
@@ -175,3 +227,9 @@ def run(fast: bool = True) -> ExperimentRecord:
         "the batched sweep met every feasible partner of each start"
     )
     return record
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    """Legacy serial entry point (``fast`` maps onto the tier ladder)."""
+    config = SCENARIO.config("fast" if fast else "full")
+    return merge(config, [run_shard(config, s) for s in make_shards(config)])

@@ -12,11 +12,15 @@ needs time at least ``2^(k-1)``.  Reproduction:
   before meeting) on every successful run at small ``k``;
 * verify the counting prerequisites (``|Z| = 2^k`` distinct nodes at
   distance ``D``; midpoints distinct) on concrete scaffolds.
+
+Sharded per size rung ``k`` (the worst-case curve is exponential in
+``k``, so the largest rung dominates) plus one proof-mechanism shard.
 """
 
 from __future__ import annotations
 
 from repro.experiments.records import ExperimentRecord
+from repro.experiments.scenarios import RunConfig, ScenarioSpec
 from repro.hardness.lower_bound import (
     dedicated_word,
     midpoint_dichotomy,
@@ -27,41 +31,54 @@ from repro.hardness.lower_bound import (
 from repro.hardness.qhat import build_qhat
 from repro.hardness.zset import z_set
 
-__all__ = ["run"]
+__all__ = ["run", "SCENARIO", "make_shards", "run_shard", "merge"]
+
+SCENARIO = ScenarioSpec(
+    exp_id="EXP-T41",
+    title="Exponential lower bound on Q-hat (Theorem 4.1)",
+    module="repro.experiments.e_hardness",
+    shard_axis="size rung k (+ proof-mechanism shard)",
+    tiers={
+        "smoke": {"k_values": [1, 2, 3, 4], "dichotomy_ks": [1]},
+        "fast": {"k_values": [1, 2, 3, 4, 5, 6], "dichotomy_ks": [1, 2]},
+        "full": {
+            "k_values": [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            "dichotomy_ks": [1, 2],
+        },
+        "stress": {
+            "k_values": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+            "dichotomy_ks": [1, 2, 3],
+        },
+    },
+)
 
 
-def run(fast: bool = True) -> ExperimentRecord:
-    record = ExperimentRecord(
-        exp_id="EXP-T41",
-        title="Exponential lower bound on Q-hat (Theorem 4.1)",
-        paper_claim=(
-            "Any algorithm meeting for all [(r, v), D], v in Z, in "
-            "Q-hat_{2D} needs time >= 2^(k-1) where D = 2k; hence "
-            "rendezvous time must be exponential in the initial distance "
-            "(and in Shrink)."
-        ),
-        columns=["k", "D", "size of Z", "bound 2^(k-1)", "measured worst", "ratio vs k*2^k"],
-    )
-    ok = True
-    k_max = 6 if fast else 9
-    for k in range(1, k_max + 1):
+def make_shards(config: RunConfig) -> list[dict]:
+    shards: list[dict] = [{"kind": "rung", "k": k} for k in config.params["k_values"]]
+    shards.append({"kind": "dichotomy", "ks": config.params["dichotomy_ks"]})
+    return shards
+
+
+def run_shard(config: RunConfig, shard: dict) -> dict:
+    if shard["kind"] == "rung":
+        k = shard["k"]
         measured = worst_case_meeting_time(k)
         bound = theoretical_bound(k)
-        ok = ok and measured >= bound
-        record.add_row(
-            k=k,
-            D=2 * k,
-            **{
+        return {
+            "ok": measured >= bound,
+            "row": {
+                "k": k,
+                "D": 2 * k,
                 "size of Z": 2**k,
                 "bound 2^(k-1)": bound,
                 "measured worst": measured,
                 "ratio vs k*2^k": measured / (k * 2**k),
             },
-        )
+        }
 
     # Proof-mechanism check on concrete graphs (small k).
     dichotomy_ok = True
-    for k in (1, 2):
+    for k in shard["ks"]:
         graph, tree = build_qhat(4 * k)
         word = dedicated_word(k)
         for member in z_set(tree, k):
@@ -73,9 +90,26 @@ def run(fast: bool = True) -> ExperimentRecord:
                 continue
             a_mid, b_mid = midpoint_dichotomy(tree, member, outcome)
             dichotomy_ok = dichotomy_ok and (a_mid or b_mid)
-    ok = ok and dichotomy_ok
+    return {"ok": dichotomy_ok, "row": None}
 
-    record.passed = ok
+
+def merge(config: RunConfig, shard_results: list[dict]) -> ExperimentRecord:
+    record = ExperimentRecord(
+        exp_id=SCENARIO.exp_id,
+        title=SCENARIO.title,
+        paper_claim=(
+            "Any algorithm meeting for all [(r, v), D], v in Z, in "
+            "Q-hat_{2D} needs time >= 2^(k-1) where D = 2k; hence "
+            "rendezvous time must be exponential in the initial distance "
+            "(and in Shrink)."
+        ),
+        columns=["k", "D", "size of Z", "bound 2^(k-1)", "measured worst", "ratio vs k*2^k"],
+    )
+    for result in shard_results:
+        if result["row"] is not None:
+            record.add_row(**result["row"])
+    record.passed = all(result["ok"] for result in shard_results)
+    k_max = max(config.params["k_values"])
     record.measured_summary = (
         f"worst-case meeting time grows as Theta(k 2^k) for k=1..{k_max} "
         "(always >= the 2^(k-1) bound; the measured/(k 2^k) ratio column is flat), "
@@ -86,3 +120,9 @@ def run(fast: bool = True) -> ExperimentRecord:
         "says no algorithm can be sub-exponential, so the shapes match"
     )
     return record
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    """Legacy serial entry point (``fast`` maps onto the tier ladder)."""
+    config = SCENARIO.config("fast" if fast else "full")
+    return merge(config, [run_shard(config, s) for s in make_shards(config)])

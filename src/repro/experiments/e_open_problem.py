@@ -13,6 +13,9 @@ versus the asymmetric-only variant as ``n`` grows, fits the growth
 order of each, and verifies the paper's dichotomy — polynomial without
 SymmRV, super-polynomial with it (the ``(n-1)^d`` terms of wrong
 phases dominate).
+
+Sharded per size rung ``n``; the log-log growth fits run at merge
+time over the assembled ladder.
 """
 
 from __future__ import annotations
@@ -23,8 +26,22 @@ from repro.baselines.asymm_only import asymm_only_round_budget
 from repro.core.profile import TUNED
 from repro.core.universal import universal_round_budget
 from repro.experiments.records import ExperimentRecord
+from repro.experiments.scenarios import RunConfig, ScenarioSpec
 
-__all__ = ["run"]
+__all__ = ["run", "SCENARIO", "make_shards", "run_shard", "merge"]
+
+SCENARIO = ScenarioSpec(
+    exp_id="EXP-OPEN",
+    title="The open problem: polynomial universal rendezvous?",
+    module="repro.experiments.e_open_problem",
+    shard_axis="size rung n",
+    tiers={
+        "smoke": {"n_values": [2, 3, 4], "delta": 1},
+        "fast": {"n_values": [2, 3, 4, 5], "delta": 1},
+        "full": {"n_values": [2, 3, 4, 5, 6, 7], "delta": 1},
+        "stress": {"n_values": [2, 3, 4, 5, 6, 7, 8, 9, 10], "delta": 1},
+    },
+)
 
 
 def _growth_order(ns: list[int], budgets: list[int]) -> float:
@@ -39,10 +56,37 @@ def _growth_order(ns: list[int], budgets: list[int]) -> float:
     return num / den
 
 
-def run(fast: bool = True) -> ExperimentRecord:
+def make_shards(config: RunConfig) -> list[dict]:
+    return [
+        {"n": n, "delta": config.params["delta"]}
+        for n in config.params["n_values"]
+    ]
+
+
+def run_shard(config: RunConfig, shard: dict) -> dict:
+    n, delta = shard["n"], shard["delta"]
+    a = asymm_only_round_budget(TUNED, n, delta)
+    # Worst decisive triple for a symmetric STIC: d can be as large
+    # as n - 1 (Shrink is a distance, hence < n).
+    u = universal_round_budget(TUNED, n, n - 1, delta)
+    return {
+        "n": n,
+        "asymm_budget": a,
+        "universal_budget": u,
+        "row": {
+            "n": n,
+            "delta": delta,
+            "asymm-only budget": a,
+            "universal budget": u,
+            "ratio": u / a,
+        },
+    }
+
+
+def merge(config: RunConfig, shard_results: list[dict]) -> ExperimentRecord:
     record = ExperimentRecord(
-        exp_id="EXP-OPEN",
-        title="The open problem: polynomial universal rendezvous?",
+        exp_id=SCENARIO.exp_id,
+        title=SCENARIO.title,
         paper_claim=(
             "Deleting SymmRV yields a variant polynomial in n and delta "
             "(for non-symmetric STICs only); the full universal algorithm "
@@ -57,26 +101,14 @@ def run(fast: bool = True) -> ExperimentRecord:
             "ratio",
         ],
     )
-    ns = [2, 3, 4, 5] if fast else [2, 3, 4, 5, 6, 7]
-    delta = 1
+    ns = []
     asymm_budgets = []
     universal_budgets = []
-    for n in ns:
-        a = asymm_only_round_budget(TUNED, n, delta)
-        # Worst decisive triple for a symmetric STIC: d can be as large
-        # as n - 1 (Shrink is a distance, hence < n).
-        u = universal_round_budget(TUNED, n, n - 1, delta)
-        asymm_budgets.append(a)
-        universal_budgets.append(u)
-        record.add_row(
-            n=n,
-            delta=delta,
-            **{
-                "asymm-only budget": a,
-                "universal budget": u,
-                "ratio": u / a,
-            },
-        )
+    for result in shard_results:
+        ns.append(result["n"])
+        asymm_budgets.append(result["asymm_budget"])
+        universal_budgets.append(result["universal_budget"])
+        record.add_row(**result["row"])
 
     asymm_order = _growth_order(ns, asymm_budgets)
     universal_order = _growth_order(ns, universal_budgets)
@@ -97,3 +129,9 @@ def run(fast: bool = True) -> ExperimentRecord:
     )
     record.notes = "budgets are the guaranteed worst-case meeting bounds under the tuned profile"
     return record
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    """Legacy serial entry point (``fast`` maps onto the tier ladder)."""
+    config = SCENARIO.config("fast" if fast else "full")
+    return merge(config, [run_shard(config, s) for s in make_shards(config)])

@@ -11,11 +11,16 @@ The paper gives two contrasting families right after Definition 3.1:
 plus the introduction's two-node graph where the delay-3 agents meet.
 We regenerate all three as a table, adding oriented rings, hypercubes
 and circulant complete graphs as further vertex-transitive checks.
+
+Sharded per graph family instance: each shard builds one graph, runs
+its checks through one shared :func:`symmetry_context` kernel, and
+returns its slice of the table.
 """
 
 from __future__ import annotations
 
 from repro.experiments.records import ExperimentRecord
+from repro.experiments.scenarios import RunConfig, ScenarioSpec
 from repro.graphs.families import (
     complete_graph,
     hypercube,
@@ -28,24 +33,116 @@ from repro.graphs.families import (
 )
 from repro.symmetry.context import symmetry_context
 
-__all__ = ["run"]
+__all__ = ["run", "SCENARIO", "make_shards", "run_shard", "merge"]
+
+SCENARIO = ScenarioSpec(
+    exp_id="TAB-SHRINK",
+    title="Shrink(u, v) on the paper's example families (Section 3)",
+    module="repro.experiments.e_shrink",
+    shard_axis="graph family instance",
+    tiers={
+        "smoke": {
+            "torus_sizes": [[3, 3]],
+            "tree_depths": [1],
+            "ring_n": 8,
+            "cube_dim": 3,
+            "complete_n": 5,
+        },
+        "fast": {
+            "torus_sizes": [[3, 3], [4, 4]],
+            "tree_depths": [1, 2],
+            "ring_n": 8,
+            "cube_dim": 3,
+            "complete_n": 5,
+        },
+        "full": {
+            "torus_sizes": [[3, 3], [4, 4], [5, 5], [4, 6]],
+            "tree_depths": [1, 2, 3],
+            "ring_n": 8,
+            "cube_dim": 3,
+            "complete_n": 5,
+        },
+        "stress": {
+            "torus_sizes": [[3, 3], [4, 4], [5, 5], [4, 6], [6, 6], [7, 7]],
+            "tree_depths": [1, 2, 3, 4, 5],
+            "ring_n": 16,
+            "cube_dim": 4,
+            "complete_n": 7,
+        },
+    },
+)
 
 
-def run(fast: bool = True) -> ExperimentRecord:
-    record = ExperimentRecord(
-        exp_id="TAB-SHRINK",
-        title="Shrink(u, v) on the paper's example families (Section 3)",
-        paper_claim=(
-            "On an oriented torus Shrink(u, v) = dist(u, v) for every "
-            "(symmetric) pair; on a symmetric tree Shrink of any mirror "
-            "pair is 1 at arbitrary distance."
-        ),
-        columns=["family", "pair", "symmetric", "dist", "Shrink", "expected"],
-    )
+def make_shards(config: RunConfig) -> list[dict]:
+    params = config.params
+    shards: list[dict] = [{"kind": "two_node"}]
+    shards += [
+        {"kind": "torus", "rows": rows, "cols": cols}
+        for rows, cols in params["torus_sizes"]
+    ]
+    shards += [{"kind": "tree", "depth": d} for d in params["tree_depths"]]
+    shards += [
+        {"kind": "ring", "n": params["ring_n"]},
+        {"kind": "cube", "dim": params["cube_dim"]},
+        {"kind": "complete", "n": params["complete_n"]},
+    ]
+    return shards
+
+
+def _checks_for(shard: dict) -> list[tuple[str, object, int, int, int]]:
+    """(family label, graph, u, v, expected Shrink) rows of one shard."""
+    kind = shard["kind"]
+    if kind == "two_node":
+        return [("two-node", two_node_graph(), 0, 1, 1)]
+    if kind == "torus":
+        rows, cols = shard["rows"], shard["cols"]
+        torus = oriented_torus(rows, cols)
+        checks = []
+        for r, c in {(0, 1), (1, 1), (rows - 1, cols - 1), (rows // 2, cols // 2)}:
+            v = torus_node(r, c, cols)
+            if v == 0:
+                continue
+            checks.append(
+                (f"torus {rows}x{cols}", torus, 0, v, torus.distance(0, v))
+            )
+        return checks
+    if kind == "tree":
+        depth = shard["depth"]
+        tree = symmetric_tree(arity=2, depth=depth)
+        return [
+            (
+                f"mirror tree depth {depth}",
+                tree,
+                u,
+                mirror_node(u, 2, depth),
+                1,
+            )
+            for u in (0, tree.n // 2 - 1)  # root and the deepest left leaf
+        ]
+    if kind == "ring":
+        n = shard["n"]
+        ring = oriented_ring(n)
+        return [
+            (f"oriented ring n={n}", ring, 0, v, ring.distance(0, v))
+            for v in (1, n // 2 - 1, n // 2)
+        ]
+    if kind == "cube":
+        dim = shard["dim"]
+        cube = hypercube(dim)
+        return [
+            (f"hypercube d={dim}", cube, 0, v, cube.distance(0, v))
+            for v in (1, 3, 2**dim - 1)
+        ]
+    if kind == "complete":
+        n = shard["n"]
+        return [(f"complete K{n}", complete_graph(n), 0, v, 1) for v in (1, 2)]
+    raise KeyError(f"unknown shard kind {kind!r}")
+
+
+def run_shard(config: RunConfig, shard: dict) -> dict:
     ok = True
-
-    def check(family: str, graph, u: int, v: int, expected: int) -> None:
-        nonlocal ok
+    rows = []
+    for family, graph, u, v, expected in _checks_for(shard):
         # One kernel per graph answers every pair of the family's table
         # (colors + all-pairs Shrink computed once, not per check).
         context = symmetry_context(graph)
@@ -53,60 +150,43 @@ def run(fast: bool = True) -> ExperimentRecord:
         dist = int(context.distances[u, v])
         value = context.shrink_value(u, v)
         ok = ok and symmetric and value == expected
-        record.add_row(
-            family=family,
-            pair=f"({u},{v})",
-            symmetric=symmetric,
-            dist=dist,
-            Shrink=value,
-            expected=expected,
+        rows.append(
+            {
+                "family": family,
+                "pair": f"({u},{v})",
+                "symmetric": symmetric,
+                "dist": dist,
+                "Shrink": value,
+                "expected": expected,
+            }
         )
+    return {"ok": ok, "rows": rows}
 
-    # Two-node graph (introduction's delay example): Shrink = 1.
-    check("two-node", two_node_graph(), 0, 1, 1)
 
-    # Oriented tori: Shrink == distance for a spread of pairs.
-    sizes = [(3, 3), (4, 4)] if fast else [(3, 3), (4, 4), (5, 5), (4, 6)]
-    for rows, cols in sizes:
-        torus = oriented_torus(rows, cols)
-        for r, c in {(0, 1), (1, 1), (rows - 1, cols - 1), (rows // 2, cols // 2)}:
-            v = torus_node(r, c, cols)
-            if v == 0:
-                continue
-            check(f"torus {rows}x{cols}", torus, 0, v, torus.distance(0, v))
-
-    # Symmetric trees: mirror pairs have Shrink 1 at growing distance.
-    depths = (1, 2) if fast else (1, 2, 3)
-    for depth in depths:
-        tree = symmetric_tree(arity=2, depth=depth)
-        for u in (0, tree.n // 2 - 1):  # root and the deepest left leaf
-            check(
-                f"mirror tree depth {depth}",
-                tree,
-                u,
-                mirror_node(u, 2, depth),
-                1,
-            )
-
-    # Oriented rings: Shrink == ring distance (rigid rotation argument).
-    ring = oriented_ring(8)
-    for v in (1, 3, 4):
-        check("oriented ring n=8", ring, 0, v, ring.distance(0, v))
-
-    # Hypercube: Shrink == Hamming distance (XOR-translation argument).
-    cube = hypercube(3)
-    for v in (1, 3, 7):
-        check("hypercube d=3", cube, 0, v, cube.distance(0, v))
-
-    # Circulant complete graph: everything at distance 1, Shrink 1.
-    kn = complete_graph(5)
-    for v in (1, 2):
-        check("complete K5", kn, 0, v, 1)
-
-    record.passed = ok
+def merge(config: RunConfig, shard_results: list[dict]) -> ExperimentRecord:
+    record = ExperimentRecord(
+        exp_id=SCENARIO.exp_id,
+        title=SCENARIO.title,
+        paper_claim=(
+            "On an oriented torus Shrink(u, v) = dist(u, v) for every "
+            "(symmetric) pair; on a symmetric tree Shrink of any mirror "
+            "pair is 1 at arbitrary distance."
+        ),
+        columns=["family", "pair", "symmetric", "dist", "Shrink", "expected"],
+    )
+    for result in shard_results:
+        for row in result["rows"]:
+            record.add_row(**row)
+    record.passed = all(result["ok"] for result in shard_results)
     record.measured_summary = (
         "Shrink computed by product-graph BFS matches the paper's closed "
         "forms on every family: distance-preserving on tori/rings/"
         "hypercubes, collapsing to 1 on mirror trees and cliques"
     )
     return record
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    """Legacy serial entry point (``fast`` maps onto the tier ladder)."""
+    config = SCENARIO.config("fast" if fast else "full")
+    return merge(config, [run_shard(config, s) for s in make_shards(config)])

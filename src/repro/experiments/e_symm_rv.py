@@ -8,6 +8,9 @@ dedicated algorithm serves a whole group — run each group through the
 batched sweep engine (:func:`repro.sim.batch.run_rendezvous_batch`),
 and compare the worst measured meeting time against the bound, which
 exposes the bound's ``(n-1)^d`` exponential term as ``d`` grows.
+
+Sharded per graph family: each shard sweeps one family's full
+symmetric-pair orbit.
 """
 
 from __future__ import annotations
@@ -17,20 +20,71 @@ from repro.core.symm_rv import make_symm_rv_algorithm
 from repro.core.uxs import is_uxs_for_graph
 from repro.core.profile import TUNED
 from repro.experiments.records import ExperimentRecord
-from repro.graphs.families import (
-    complete_graph,
-    hypercube,
-    oriented_ring,
-    oriented_torus,
-    symmetric_tree,
-    two_node_graph,
-)
+from repro.experiments.scenarios import RunConfig, ScenarioSpec, build_graph
 from repro.sim.batch import run_rendezvous_batch
 from repro.sim.scheduler import run_rendezvous
 from repro.symmetry.shrink import shrink
 from repro.symmetry.views import symmetric_pairs
 
-__all__ = ["run", "dedicated_symm_rv", "sweep_symmetric_pairs"]
+__all__ = [
+    "run",
+    "SCENARIO",
+    "make_shards",
+    "run_shard",
+    "merge",
+    "dedicated_symm_rv",
+    "sweep_symmetric_pairs",
+]
+
+_CASES = {
+    "two-node": ["two-node", {"family": "two_node"}, 0],
+    "ring5": ["ring n=5", {"family": "oriented_ring", "n": 5}, 0],
+    "ring6": ["ring n=6", {"family": "oriented_ring", "n": 6}, 1],
+    "torus3": ["torus 3x3", {"family": "oriented_torus", "rows": 3, "cols": 3}, 0],
+    "tree": ["mirror tree", {"family": "symmetric_tree", "arity": 2, "depth": 2}, 2],
+    "k4": ["complete K4", {"family": "complete", "n": 4}, 0],
+    "torus4": ["torus 4x4", {"family": "oriented_torus", "rows": 4, "cols": 4}, 0],
+    "cube3": ["hypercube d=3", {"family": "hypercube", "dim": 3}, 0],
+    "ring8": ["ring n=8", {"family": "oriented_ring", "n": 8}, 2],
+}
+
+_FAST_CASES = [
+    _CASES["two-node"],
+    _CASES["ring5"],
+    _CASES["ring6"],
+    _CASES["torus3"],
+    _CASES["tree"],
+    _CASES["k4"],
+]
+
+SCENARIO = ScenarioSpec(
+    exp_id="EXP-L32",
+    title="SymmRV with known parameters (Lemmas 3.2 and 3.3)",
+    module="repro.experiments.e_symm_rv",
+    shard_axis="graph family (full symmetric-pair orbit)",
+    tiers={
+        "smoke": {"cases": [_CASES["two-node"], _CASES["ring5"], _CASES["k4"]]},
+        "fast": {"cases": _FAST_CASES},
+        "full": {
+            "cases": _FAST_CASES
+            + [_CASES["torus4"], _CASES["cube3"], _CASES["ring8"]]
+        },
+        "stress": {
+            "cases": _FAST_CASES
+            + [
+                _CASES["torus4"],
+                _CASES["cube3"],
+                _CASES["ring8"],
+                ["ring n=10", {"family": "oriented_ring", "n": 10}, 1],
+                [
+                    "torus 4x5",
+                    {"family": "oriented_torus", "rows": 4, "cols": 5},
+                    0,
+                ],
+            ]
+        },
+    },
+)
 
 
 def dedicated_symm_rv(graph, u, v, delta, *, uxs=None, extra_delta=0):
@@ -86,10 +140,45 @@ def sweep_symmetric_pairs(graph, *, extra_delta=0, uxs=None):
         yield d, delta, pairs, results, bound
 
 
-def run(fast: bool = True) -> ExperimentRecord:
+def make_shards(config: RunConfig) -> list[dict]:
+    return [
+        {"name": name, "graph": graph_spec, "extra_delta": extra}
+        for name, graph_spec, extra in config.params["cases"]
+    ]
+
+
+def run_shard(config: RunConfig, shard: dict) -> dict:
+    graph = build_graph(shard["graph"])
+    ok = True
+    rows = []
+    for d, delta, pairs, results, bound in sweep_symmetric_pairs(
+        graph, extra_delta=shard["extra_delta"]
+    ):
+        met_in_bound = all(
+            r.met and r.time_from_later <= bound for r in results
+        )
+        ok = ok and met_in_bound
+        worst = max(
+            (r.time_from_later for r in results if r.met), default=None
+        )
+        rows.append(
+            {
+                "graph": shard["name"],
+                "d=Shrink": d,
+                "delta": delta,
+                "pairs": len(pairs),
+                "met": met_in_bound,
+                "worst time": worst,
+                "T bound": bound,
+            }
+        )
+    return {"ok": ok, "rows": rows}
+
+
+def merge(config: RunConfig, shard_results: list[dict]) -> ExperimentRecord:
     record = ExperimentRecord(
-        exp_id="EXP-L32",
-        title="SymmRV with known parameters (Lemmas 3.2 and 3.3)",
+        exp_id=SCENARIO.exp_id,
+        title=SCENARIO.title,
         paper_claim=(
             "From symmetric positions with delta >= Shrink(u, v) and known "
             "(n, d, delta), SymmRV achieves rendezvous within "
@@ -105,45 +194,10 @@ def run(fast: bool = True) -> ExperimentRecord:
             "T bound",
         ],
     )
-    cases = [
-        ("two-node", two_node_graph(), 0),
-        ("ring n=5", oriented_ring(5), 0),
-        ("ring n=6", oriented_ring(6), 1),
-        ("torus 3x3", oriented_torus(3, 3), 0),
-        ("mirror tree", symmetric_tree(2, 2), 2),
-        ("complete K4", complete_graph(4), 0),
-    ]
-    if not fast:
-        cases += [
-            ("torus 4x4", oriented_torus(4, 4), 0),
-            ("hypercube d=3", hypercube(3), 0),
-            ("ring n=8", oriented_ring(8), 2),
-        ]
-
-    ok = True
-    for name, graph, extra in cases:
-        for d, delta, pairs, results, bound in sweep_symmetric_pairs(
-            graph, extra_delta=extra
-        ):
-            met_in_bound = all(
-                r.met and r.time_from_later <= bound for r in results
-            )
-            ok = ok and met_in_bound
-            worst = max(
-                (r.time_from_later for r in results if r.met), default=None
-            )
-            record.add_row(
-                graph=name,
-                pairs=len(pairs),
-                met=met_in_bound,
-                **{
-                    "d=Shrink": d,
-                    "delta": delta,
-                    "worst time": worst,
-                    "T bound": bound,
-                },
-            )
-    record.passed = ok
+    for result in shard_results:
+        for row in result["rows"]:
+            record.add_row(**row)
+    record.passed = all(result["ok"] for result in shard_results)
     record.measured_summary = (
         "dedicated SymmRV met on every symmetric pair of every family with "
         "delta >= Shrink, always within the Lemma 3.3 bound (full orbit "
@@ -151,3 +205,9 @@ def run(fast: bool = True) -> ExperimentRecord:
     )
     record.notes = "tuned UXS (coverage certified per graph); bound uses its length"
     return record
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    """Legacy serial entry point (``fast`` maps onto the tier ladder)."""
+    config = SCENARIO.config("fast" if fast else "full")
+    return merge(config, [run_shard(config, s) for s in make_shards(config)])

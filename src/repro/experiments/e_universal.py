@@ -7,6 +7,9 @@ symmetric positions at ``delta >= Shrink``.  We sweep mixed workloads
 decisive phase index, and compare the totals against Proposition 4.1's
 ``O(n^4 + delta^2)`` phase count and ``(n + delta)^O(n + delta)``
 envelope.
+
+Sharded per STIC case: every workload entry is one independent
+feasibility-class probe.
 """
 
 from __future__ import annotations
@@ -16,57 +19,130 @@ from repro.core.pairing import triple
 from repro.core.profile import TUNED
 from repro.core.universal import rendezvous, universal_round_budget
 from repro.experiments.records import ExperimentRecord
-from repro.graphs.families import (
-    complete_graph,
-    labeled_ring,
-    oriented_ring,
-    oriented_torus,
-    path_graph,
-    star_graph,
-    symmetric_tree,
-    torus_node,
-    two_node_graph,
-)
-from repro.graphs.random_graphs import random_connected_graph
+from repro.experiments.scenarios import RunConfig, ScenarioSpec, build_graph
 from repro.symmetry.feasibility import classify_stic
 
-__all__ = ["run"]
+__all__ = ["run", "SCENARIO", "make_shards", "run_shard", "merge"]
+
+_RING4 = {"family": "oriented_ring", "n": 4}
+_RING5 = {"family": "oriented_ring", "n": 5}
+_TORUS3 = {"family": "oriented_torus", "rows": 3, "cols": 3}
+
+#: (name, graph spec, u, v, delta) covering every feasibility class.
+_FAST_CASES = [
+    # Symmetric, delta == Shrink (boundary of feasibility).
+    ["two-node", {"family": "two_node"}, 0, 1, 1],
+    ["ring n=4", _RING4, 0, 1, 1],
+    ["ring n=4 far", _RING4, 0, 2, 2],
+    ["torus 3x3", _TORUS3, 0, 1, 1],
+    ["mirror tree", {"family": "symmetric_tree", "arity": 1, "depth": 1}, 0, 2, 1],
+    ["complete K4", {"family": "complete", "n": 4}, 0, 1, 1],
+    # Symmetric, delta > Shrink.
+    ["two-node slack", {"family": "two_node"}, 0, 1, 3],
+    ["ring n=4 slack", _RING4, 0, 1, 4],
+    # Non-symmetric, delta = 0 and > 0.
+    ["path P3", {"family": "path", "n": 3}, 0, 2, 0],
+    ["path P4", {"family": "path", "n": 4}, 0, 3, 2],
+    ["star 3", {"family": "star", "leaves": 3}, 1, 2, 1],
+]
+
+_FULL_EXTRA = [
+    ["ring n=5", _RING5, 0, 2, 2],
+    ["ring n=5 slack", _RING5, 0, 1, 5],
+    ["torus 3x3 diag", _TORUS3, 0, 4, 2],
+    ["random n=6", {"family": "random_connected", "n": 6, "extra_edges": 3, "seed": 7}, 0, 5, 1],
+    # Irregular port pattern: fully rigid ring (all views differ).
+    [
+        "lab ring",
+        {
+            "family": "labeled_ring",
+            "ports": [[0, 1], [1, 0], [0, 1], [0, 1], [0, 1], [1, 0]],
+        },
+        0,
+        1,
+        0,
+    ],
+]
+
+SCENARIO = ScenarioSpec(
+    exp_id="EXP-T31/P41",
+    title="UniversalRV on all feasible STIC classes (Thm 3.1, Prop 4.1)",
+    module="repro.experiments.e_universal",
+    shard_axis="STIC case",
+    tiers={
+        "smoke": {"cases": [_FAST_CASES[0], _FAST_CASES[1], _FAST_CASES[8]]},
+        "fast": {"cases": _FAST_CASES},
+        "full": {"cases": _FAST_CASES + _FULL_EXTRA},
+        "stress": {
+            "cases": _FAST_CASES
+            + _FULL_EXTRA
+            + [
+                ["ring n=6 far", {"family": "oriented_ring", "n": 6}, 0, 3, 3],
+                [
+                    "torus 4x4",
+                    {"family": "oriented_torus", "rows": 4, "cols": 4},
+                    0,
+                    5,
+                    2,
+                ],
+                [
+                    "random n=8",
+                    {
+                        "family": "random_connected",
+                        "n": 8,
+                        "extra_edges": 4,
+                        "seed": 11,
+                    },
+                    0,
+                    7,
+                    1,
+                ],
+            ]
+        },
+    },
+)
 
 
-def _workload(fast: bool):
-    """(name, graph, u, v, delta) covering every feasibility class."""
-    cases = [
-        # Symmetric, delta == Shrink (boundary of feasibility).
-        ("two-node", two_node_graph(), 0, 1, 1),
-        ("ring n=4", oriented_ring(4), 0, 1, 1),
-        ("ring n=4 far", oriented_ring(4), 0, 2, 2),
-        ("torus 3x3", oriented_torus(3, 3), 0, torus_node(0, 1, 3), 1),
-        ("mirror tree", symmetric_tree(1, 1), 0, 2, 1),
-        ("complete K4", complete_graph(4), 0, 1, 1),
-        # Symmetric, delta > Shrink.
-        ("two-node slack", two_node_graph(), 0, 1, 3),
-        ("ring n=4 slack", oriented_ring(4), 0, 1, 4),
-        # Non-symmetric, delta = 0 and > 0.
-        ("path P3", path_graph(3), 0, 2, 0),
-        ("path P4", path_graph(4), 0, 3, 2),
-        ("star 3", star_graph(3), 1, 2, 1),
+def make_shards(config: RunConfig) -> list[dict]:
+    return [
+        {"name": name, "graph": graph_spec, "u": u, "v": v, "delta": delta}
+        for name, graph_spec, u, v, delta in config.params["cases"]
     ]
-    if not fast:
-        cases += [
-            ("ring n=5", oriented_ring(5), 0, 2, 2),
-            ("ring n=5 slack", oriented_ring(5), 0, 1, 5),
-            ("torus 3x3 diag", oriented_torus(3, 3), 0, torus_node(1, 1, 3), 2),
-            ("random n=6", random_connected_graph(6, 3, seed=7), 0, 5, 1),
-            # Irregular port pattern: fully rigid ring (all views differ).
-            ("lab ring", labeled_ring([(0, 1), (1, 0), (0, 1), (0, 1), (0, 1), (1, 0)]), 0, 1, 0),
-        ]
-    return cases
 
 
-def run(fast: bool = True) -> ExperimentRecord:
+def run_shard(config: RunConfig, shard: dict) -> dict:
+    graph = build_graph(shard["graph"])
+    u, v, delta = shard["u"], shard["v"], shard["delta"]
+    verdict = classify_stic(graph, u, v, delta)
+    assert verdict.feasible, f"workload case {shard['name']} must be feasible"
+    d = verdict.shrink if verdict.symmetric else 1
+    budget = universal_round_budget(TUNED, graph.n, d, delta)
+    result = rendezvous(graph, u, v, delta, profile=TUNED)
+    envelope_ok = (
+        result.met
+        and result.time_from_later <= universal_time_envelope(graph.n, delta)
+    )
+    within = result.met and result.time_from_later <= budget
+    return {
+        "ok": within and envelope_ok,
+        "row": {
+            "case": shard["name"],
+            "n": graph.n,
+            "class": "sym" if verdict.symmetric else "nonsym",
+            "delta": delta,
+            "met": result.met,
+            "time": result.time_from_later,
+            "budget": budget,
+            "phase<=": triple(graph.n, d, delta + 1),
+            "envelope ok": envelope_ok,
+        },
+    }
+
+
+def merge(config: RunConfig, shard_results: list[dict]) -> ExperimentRecord:
     record = ExperimentRecord(
-        exp_id="EXP-T31/P41",
-        title="UniversalRV on all feasible STIC classes (Thm 3.1, Prop 4.1)",
+        exp_id=SCENARIO.exp_id,
+        title=SCENARIO.title,
         paper_claim=(
             "UniversalRV achieves rendezvous for every feasible STIC with "
             "no a priori knowledge; total time is within the "
@@ -85,34 +161,9 @@ def run(fast: bool = True) -> ExperimentRecord:
             "envelope ok",
         ],
     )
-    ok = True
-    for name, graph, u, v, delta in _workload(fast):
-        verdict = classify_stic(graph, u, v, delta)
-        assert verdict.feasible, f"workload case {name} must be feasible"
-        d = verdict.shrink if verdict.symmetric else 1
-        budget = universal_round_budget(TUNED, graph.n, d, delta)
-        result = rendezvous(graph, u, v, delta, profile=TUNED)
-        envelope_ok = (
-            result.met
-            and result.time_from_later
-            <= universal_time_envelope(graph.n, delta)
-        )
-        within = result.met and result.time_from_later <= budget
-        ok = ok and within and envelope_ok
-        record.add_row(
-            case=name,
-            n=graph.n,
-            **{
-                "class": "sym" if verdict.symmetric else "nonsym",
-                "delta": delta,
-                "met": result.met,
-                "time": result.time_from_later,
-                "budget": budget,
-                "phase<=": triple(graph.n, d, delta + 1),
-                "envelope ok": envelope_ok,
-            },
-        )
-    record.passed = ok
+    for result in shard_results:
+        record.add_row(**result["row"])
+    record.passed = all(result["ok"] for result in shard_results)
     record.measured_summary = (
         "UniversalRV met on every feasible STIC (both classes, boundary "
         "delays included) within its computed phase budget and far inside "
@@ -120,3 +171,9 @@ def run(fast: bool = True) -> ExperimentRecord:
     )
     record.notes = "tuned profile (certified UXS, hashed labels, oracle views)"
     return record
+
+
+def run(fast: bool = True) -> ExperimentRecord:
+    """Legacy serial entry point (``fast`` maps onto the tier ladder)."""
+    config = SCENARIO.config("fast" if fast else "full")
+    return merge(config, [run_shard(config, s) for s in make_shards(config)])

@@ -1,0 +1,283 @@
+"""Parallel sharded experiment runner.
+
+Splits each selected experiment into the independent shards its
+:class:`~repro.experiments.scenarios.ScenarioSpec` declares, executes
+missing shards — serially or across a ``ProcessPoolExecutor`` — and
+merges the results into :class:`ExperimentRecord`s.
+
+Determinism guarantees (pinned by tests/experiments/test_orchestrator.py):
+
+* shard results are pure functions of ``(config, shard)``; all
+  randomness derives from ``config.seed``;
+* shards merge **in shard order**, never completion order, so a
+  ``--jobs N`` run is bit-identical to ``--jobs 1``;
+* every shard result is normalized through a canonical-JSON round
+  trip before merging, so warm-cache, cold, and cache-disabled runs
+  also agree byte-for-byte.
+
+With a :class:`~repro.experiments.store.ResultStore` attached, shards
+hit the content-addressed cache first and only invalidated (spec,
+seed, or driver-version changed) shards recompute; interrupted runs
+resume from whatever shards already landed on disk.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.scenarios import (
+    SCENARIO_MODULES,
+    RunConfig,
+    ScenarioSpec,
+    get_scenario,
+)
+from repro.experiments.store import ResultStore, json_roundtrip, shard_key
+
+__all__ = [
+    "ShardOutcome",
+    "ExperimentRun",
+    "validate_experiment_ids",
+    "plan_shards",
+    "run_experiment",
+    "run_suite",
+]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One executed (or cache-served) shard.
+
+    ``seconds`` is the shard's own execution time as measured in the
+    worker that ran it (0.0 for cache hits), so it is meaningful for
+    finding slow shards even under ``--jobs N``.
+    """
+
+    index: int
+    shard: dict
+    key: str
+    cached: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """A merged experiment: the record plus its execution ledger.
+
+    ``seconds`` is the compute time attributed to *this* experiment —
+    the sum of its shards' execution times plus its merge — not wall
+    clock, so it is comparable across serial, parallel, and
+    warm-cache runs (cached shards contribute 0).
+    """
+
+    record: ExperimentRecord
+    config: RunConfig
+    shards: list[ShardOutcome]
+    seconds: float
+
+    @property
+    def shards_cached(self) -> int:
+        return sum(outcome.cached for outcome in self.shards)
+
+    @property
+    def shards_computed(self) -> int:
+        return len(self.shards) - self.shards_cached
+
+
+def validate_experiment_ids(ids: list[str] | None) -> list[str]:
+    """Resolve the selection, rejecting *every* unknown id up front.
+
+    Validation happens before any shard executes, so a typo in the last
+    requested id cannot burn the minutes of the ids before it.
+    """
+    if ids is None:
+        return list(SCENARIO_MODULES)
+    unknown = [exp_id for exp_id in ids if exp_id not in SCENARIO_MODULES]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(repr(e) for e in unknown)}; "
+            f"known: {sorted(SCENARIO_MODULES)}"
+        )
+    return list(ids)
+
+
+def plan_shards(spec: ScenarioSpec, config: RunConfig) -> list[dict]:
+    """The spec's shard list for one config (delegates to the driver)."""
+    return spec.driver().make_shards(config)
+
+
+def _execute_shard(module: str, config_dict: dict, shard: dict) -> tuple[dict, float]:
+    """Worker entry point (top-level so it pickles across processes).
+
+    Returns ``(result, seconds)`` with the execution time measured in
+    the worker itself, so parallel runs attribute time correctly.
+    """
+    driver = importlib.import_module(module)
+    t0 = time.perf_counter()
+    result = driver.run_shard(RunConfig.from_json_dict(config_dict), shard)
+    return result, time.perf_counter() - t0
+
+
+@dataclass
+class _Plan:
+    spec: ScenarioSpec
+    config: RunConfig
+    shards: list[dict]
+    keys: list[str]
+    data: list[dict | None]  # cache hits pre-filled, None = must compute
+
+
+def _make_plan(
+    spec: ScenarioSpec,
+    *,
+    tier: str,
+    seed: int | None,
+    store: ResultStore | None,
+) -> _Plan:
+    config = spec.config(tier, seed=seed)
+    shards = plan_shards(spec, config)
+    keys = [shard_key(config, shard, spec.code_version) for shard in shards]
+    data = [store.get(key) if store is not None else None for key in keys]
+    return _Plan(spec, config, shards, keys, data)
+
+
+def _finish_plan(plan: _Plan, durations: list[float]) -> ExperimentRun:
+    t0 = time.perf_counter()
+    record = plan.spec.driver().merge(plan.config, plan.data)
+    merge_seconds = time.perf_counter() - t0
+    outcomes = [
+        ShardOutcome(
+            index=i,
+            shard=shard,
+            key=key,
+            cached=duration < 0,
+            seconds=max(duration, 0.0),
+        )
+        for i, (shard, key, duration) in enumerate(
+            zip(plan.shards, plan.keys, durations)
+        )
+    ]
+    return ExperimentRun(
+        record=record,
+        config=plan.config,
+        shards=outcomes,
+        seconds=sum(o.seconds for o in outcomes) + merge_seconds,
+    )
+
+
+def run_suite(
+    ids: list[str] | None = None,
+    *,
+    tier: str = "fast",
+    seed: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> list[ExperimentRun]:
+    """Run a selection of experiments, sharded and optionally parallel.
+
+    All experiments' missing shards share one process pool, so a wide
+    selection saturates ``--jobs`` workers even when individual
+    experiments have few shards.  Results come back in selection order
+    with shard order preserved inside each experiment.
+    """
+    selected = validate_experiment_ids(ids)
+    plans = [
+        _make_plan(get_scenario(exp_id), tier=tier, seed=seed, store=store)
+        for exp_id in selected
+    ]
+
+    # (plan index, shard index) of every cache miss, in deterministic order.
+    missing = [
+        (p, s)
+        for p, plan in enumerate(plans)
+        for s, payload in enumerate(plan.data)
+        if payload is None
+    ]
+    durations: list[list[float]] = [[-1.0] * len(plan.shards) for plan in plans]
+
+    def record_result(p: int, s: int, result: dict, seconds: float) -> None:
+        plan = plans[p]
+        # Normalize through canonical JSON so cold == warm byte-for-byte.
+        result = json_roundtrip(result)
+        plan.data[s] = result
+        durations[p][s] = seconds
+        if store is not None:
+            store.put(
+                plan.keys[s],
+                result,
+                meta={
+                    "exp_id": plan.config.exp_id,
+                    "tier": plan.config.tier,
+                    "seed": plan.config.seed,
+                    "shard": plan.shards[s],
+                    "code_version": plan.spec.code_version,
+                    "seconds": round(seconds, 4),
+                },
+            )
+
+    if jobs > 1 and len(missing) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _execute_shard,
+                    plans[p].spec.module,
+                    plans[p].config.to_json_dict(),
+                    plans[p].shards[s],
+                ): (p, s)
+                for p, s in missing
+            }
+            # Persist each shard as it lands (not in submission order):
+            # an interrupted run keeps everything that finished before
+            # the interrupt, so the resume recomputes only the rest.
+            # Merging stays deterministic — results land by index.
+            for future in as_completed(futures):
+                p, s = futures[future]
+                result, seconds = future.result()
+                record_result(p, s, result, seconds)
+    else:
+        for p, s in missing:
+            plan = plans[p]
+            result, seconds = _execute_shard(
+                plan.spec.module, plan.config.to_json_dict(), plan.shards[s]
+            )
+            record_result(p, s, result, seconds)
+
+    return [_finish_plan(plan, durations[p]) for p, plan in enumerate(plans)]
+
+
+def run_experiment(
+    spec_or_id: str | ScenarioSpec,
+    *,
+    tier: str = "fast",
+    seed: int | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> ExperimentRun:
+    """Run one experiment through the sharded pipeline."""
+    exp_id = (
+        spec_or_id if isinstance(spec_or_id, str) else spec_or_id.exp_id
+    )
+    (run,) = run_suite(
+        [exp_id], tier=tier, seed=seed, jobs=jobs, store=store
+    )
+    return run
+
+
+def shard_status(
+    ids: list[str] | None,
+    *,
+    tier: str,
+    seed: int | None,
+    store: ResultStore,
+) -> list[tuple[str, int, int]]:
+    """Per-experiment ``(exp_id, cached, total)`` cache occupancy."""
+    rows = []
+    for exp_id in validate_experiment_ids(ids):
+        plan = _make_plan(get_scenario(exp_id), tier=tier, seed=seed, store=store)
+        cached = sum(payload is not None for payload in plan.data)
+        rows.append((exp_id, cached, len(plan.shards)))
+    return rows

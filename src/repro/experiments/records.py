@@ -20,8 +20,9 @@ class ExperimentRecord:
     Attributes
     ----------
     exp_id:
-        Identifier from DESIGN.md's per-experiment index (e.g.
-        ``"EXP-T41"``).
+        Identifier from the experiment registry (e.g. ``"EXP-T41"``;
+        see the scenario index in docs/orchestration.md and the
+        per-experiment map in README.md).
     title:
         Human-readable name.
     paper_claim:
@@ -102,7 +103,11 @@ class ExperimentRecord:
 
 
     def to_json_dict(self) -> dict:
-        """Machine-readable form (for archiving runs alongside the md)."""
+        """Machine-readable form (for archiving runs alongside the md).
+
+        Inverse of :meth:`from_json_dict`: the pair round-trips through
+        plain JSON, which is what the result store persists.
+        """
         return {
             "exp_id": self.exp_id,
             "title": self.title,
@@ -112,7 +117,23 @@ class ExperimentRecord:
             "notes": self.notes,
             "columns": list(self.columns),
             "rows": [dict(r) for r in self.rows],
+            "art": self.art,
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_json_dict` output."""
+        return cls(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            paper_claim=payload["paper_claim"],
+            columns=list(payload["columns"]),
+            rows=[dict(r) for r in payload["rows"]],
+            measured_summary=payload["measured_summary"],
+            passed=payload["passed"],
+            notes=payload["notes"],
+            art=payload.get("art", ""),
+        )
 
 
 def _fmt(value) -> str:

@@ -1,0 +1,128 @@
+"""Content-addressed result store for experiment shards.
+
+Every shard of every experiment is cached on disk under a key that is
+the SHA-256 of the canonical JSON of everything that determines its
+result::
+
+    {exp_id, tier, seed, params, shard, salt}
+
+where ``salt`` combines the store's format version with the driver's
+``code_version`` (bumped whenever a driver's semantics change).  A
+cache hit therefore guarantees the stored payload is what the shard
+would recompute; any change to the spec, the seed, the shard payload,
+or the driver version changes the key and transparently invalidates
+the entry.  Interrupted runs resume for free: completed shards are
+already on disk, only missing ones recompute.
+
+Entries are plain JSON files (``<root>/<key[:2]>/<key>.json``) written
+atomically, so a store survives crashes and can be inspected, diffed,
+or garbage-collected with ordinary shell tools.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.experiments.scenarios import RunConfig
+
+__all__ = [
+    "STORE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "canonical_json",
+    "shard_key",
+    "ResultStore",
+]
+
+#: Format version; participates in every key, so bumping it invalidates
+#: the whole store at once.
+STORE_VERSION = 1
+
+#: Default on-disk location (relative to the invoking directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def json_roundtrip(obj):
+    """Normalize a payload to what a store read would return.
+
+    The orchestrator passes every shard result through this even when
+    caching is off, so merged records are bit-identical between cold,
+    warm, and cache-disabled runs.
+    """
+    return json.loads(canonical_json(obj))
+
+
+def shard_key(config: RunConfig, shard: dict, code_version: int) -> str:
+    """Content address of one shard result."""
+    payload = {
+        "exp_id": config.exp_id,
+        "tier": config.tier,
+        "seed": config.seed,
+        "params": config.params,
+        "shard": shard,
+        "salt": f"{STORE_VERSION}:{code_version}",
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class ResultStore:
+    """Content-addressed JSON-on-disk cache of shard results."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the stored data payload, or None (missing/corrupt)."""
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("key") != key
+            or "data" not in entry
+        ):
+            return None
+        return entry["data"]
+
+    def put(self, key: str, data: dict, meta: dict | None = None) -> None:
+        """Atomically persist one shard result."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "meta": meta or {}, "data": data}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(entry, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())

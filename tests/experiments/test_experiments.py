@@ -77,7 +77,14 @@ def test_cli_write_md_and_json(tmp_path):
 
     md = tmp_path / "out.md"
     js = tmp_path / "out.json"
-    code = main(["FIG1", "--write-md", str(md), "--write-json", str(js)])
+    code = main(
+        [
+            "FIG1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--write-md", str(md),
+            "--write-json", str(js),
+        ]
+    )
     assert code == 0
     assert md.read_text().startswith("# EXPERIMENTS")
     import json

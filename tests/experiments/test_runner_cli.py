@@ -65,6 +65,80 @@ def test_unknown_experiment_fails_loudly(tmp_path):
     assert "unknown experiment" in (proc.stderr + proc.stdout)
 
 
+def test_unknown_experiment_rejected_before_any_run(tmp_path):
+    """A typo after a valid id fails fast: no table is ever printed."""
+    proc = _run_cli(["FIG1", "NO-SUCH-EXP"], tmp_path)
+    assert proc.returncode != 0
+    assert "unknown experiment" in (proc.stderr + proc.stdout)
+    assert "== FIG1" not in proc.stdout
+
+
+def test_list_scenarios(tmp_path):
+    proc = _run_cli(["--list"], tmp_path)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for exp_id in ("FIG1", "EXP-T41", "EXP-ASYNC/RAND"):
+        assert exp_id in proc.stdout
+    assert "smoke/fast/full/stress" in proc.stdout
+
+
+def test_smoke_tier_cache_round_trip(tmp_path):
+    """Cold run computes, warm run is a pure cache hit, identical md."""
+    md = tmp_path / "EXPERIMENTS.md"
+    args = [
+        "FIG1", "EXP-OPEN",
+        "--tier", "smoke", "--jobs", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--write-md", str(md),
+    ]
+    cold = _run_cli(args, tmp_path)
+    assert cold.returncode == 0, cold.stderr[-2000:]
+    assert "recomputed=4 cached=0" in cold.stdout
+    first = md.read_bytes()
+
+    warm = _run_cli(args, tmp_path)
+    assert warm.returncode == 0, warm.stderr[-2000:]
+    assert "recomputed=0 cached=4" in warm.stdout
+    assert md.read_bytes() == first
+
+    status = _run_cli(
+        [
+            "FIG1", "EXP-OPEN",
+            "--tier", "smoke",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--shard-status",
+        ],
+        tmp_path,
+    )
+    assert status.returncode == 0, status.stderr[-2000:]
+    assert "TOTAL           4/4 shards cached" in status.stdout
+
+
+def test_no_cache_disables_store(tmp_path):
+    args = [
+        "FIG1", "--tier", "smoke", "--no-cache",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    for _ in range(2):
+        proc = _run_cli(args, tmp_path)
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "recomputed=1 cached=0" in proc.stdout
+    assert not (tmp_path / "cache").exists()
+
+
+def test_bad_jobs_rejected(tmp_path):
+    proc = _run_cli(["--jobs", "0"], tmp_path)
+    assert proc.returncode != 0
+    assert "--jobs" in proc.stderr
+
+
+def test_full_conflicts_with_tier(tmp_path):
+    """--full silently overriding (or being overridden by) --tier would
+    regenerate the wrong parameter ranges; the combination must error."""
+    proc = _run_cli(["--full", "--tier", "smoke"], tmp_path)
+    assert proc.returncode != 0
+    assert "--tier full" in proc.stderr
+
+
 def test_async_random_is_seed_deterministic():
     """EXP-ASYNC/RAND is a pure function of its seed, run to run."""
     first = e_async_random.run(fast=True, seed=123)
