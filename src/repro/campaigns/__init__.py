@@ -1,0 +1,44 @@
+"""Randomized campaigns: fuzz every batched engine against its oracle.
+
+The paper's guarantees quantify over *all* port-labeled graphs; this
+package turns that into an executable regression net.  A campaign is
+a declarative (graph-distribution x size-rung x seed-block) grid —
+run through the sharded/cached experiment orchestrator — where each
+cell executes a pluggable check: differential (batched engine vs
+retained scalar reference), metamorphic (relabeling invariance), or
+statistical (meeting-time summaries against kinematic bounds).
+Failures shrink to minimal replay artifacts that ``repro campaign
+replay`` reproduces exactly.  See docs/campaigns.md.
+"""
+
+from repro.campaigns.artifacts import (
+    DEFAULT_ARTIFACT_DIR,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from repro.campaigns.checks import (
+    CHECK_KINDS,
+    CHECKS,
+    CampaignCheck,
+    CheckResult,
+    run_check,
+    seeded_agent,
+)
+from repro.campaigns.registry import CAMPAIGNS, get_campaign, make_campaign
+
+__all__ = [
+    "CAMPAIGNS",
+    "CHECKS",
+    "CHECK_KINDS",
+    "CampaignCheck",
+    "CheckResult",
+    "DEFAULT_ARTIFACT_DIR",
+    "get_campaign",
+    "load_artifact",
+    "make_campaign",
+    "replay_artifact",
+    "run_check",
+    "seeded_agent",
+    "write_artifact",
+]

@@ -1,0 +1,650 @@
+"""The campaign check library: pluggable per-cell correctness oracles.
+
+Each check is a pure function of ``(graph_spec, seed, knobs)`` — the
+graph is rebuilt from its declarative JSON spec, every random choice
+derives from the cell seed, and the ``knobs`` dict bounds the sampling
+— so a failing cell replays bit-for-bit from its replay artifact.
+Three kinds of oracle cover the guarantees the paper states for *all*
+port-labeled graphs:
+
+**differential** — a batched engine against its retained scalar
+reference, on the same seeded instance:
+
+* ``differential/stic-sweep`` — :func:`repro.sim.batch.run_rendezvous_batch`
+  vs scalar :func:`repro.sim.scheduler.run_rendezvous` over random
+  STICs of a seeded agent program;
+* ``differential/schedule-sweep`` — :func:`run_schedule_sweep` vs
+  scalar :func:`run_schedule_adversary` over (pair x adversary) grids;
+* ``differential/symmetry-kernel`` — the array symmetry kernel
+  (:func:`view_classes`, :func:`shrink_witness`) vs the retained
+  scalar refinement/BFS references, plus witness validity;
+* ``differential/uxs-cover`` — the vectorized multi-start UXS
+  certifier vs the scalar per-start walks, on growing prefixes.
+
+**metamorphic** — invariance properties no reference implementation
+is needed for:
+
+* ``metamorphic/node-relabel`` — a seeded node permutation is a
+  port-preserving isomorphism: view partition, Shrink matrix, and
+  feasibility verdicts must map through it unchanged;
+* ``metamorphic/port-relabel`` — permuting port labels preserves the
+  underlying graph: distances and degrees are invariant, ``Shrink <=
+  dist`` still holds, and verdicts stay coherent with Corollary 3.1.
+
+**statistical** — ``statistical/meeting-time`` sweeps seeded agents
+over random STICs and validates meeting-time summaries against hard
+kinematic bounds (two unit-speed agents cannot close distance ``D``
+with delay ``delta`` before round ``(D + delta) / 2``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.uxs import apply_uxs, is_uxs_for_graph_scalar
+from repro.core.uxs_engine import (
+    covered_counts,
+    generate_offset_stream,
+    is_uxs_for_graph_vectorized,
+)
+from repro.experiments.scenarios import build_graph
+from repro.graphs.builders import relabel_ports
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.graphs.random_graphs import random_port_permutation
+from repro.sim.actions import Move, Wait, WaitBlock
+from repro.sim.batch import run_rendezvous_batch
+from repro.sim.schedule_adversary import (
+    EagerSchedule,
+    FixedDelaySchedule,
+    MirrorSchedule,
+    RandomSchedule,
+    RateSkewSchedule,
+    WordSchedule,
+    run_schedule_adversary,
+    run_schedule_sweep,
+)
+from repro.sim.scheduler import run_rendezvous
+from repro.symmetry.context import SymmetryContext
+from repro.symmetry.shrink import shrink_witness_reference
+from repro.symmetry.views import view_classes_reference
+from repro.util.lcg import SplitMix64, derive_seed
+
+__all__ = [
+    "CHECKS",
+    "CHECK_KINDS",
+    "CampaignCheck",
+    "CheckResult",
+    "run_check",
+    "seeded_agent",
+    "default_knobs",
+]
+
+#: Default sampling bounds; campaigns override per tier via their
+#: ``knobs`` param (and replay artifacts persist the override).
+_DEFAULT_KNOBS = {"max_pairs": 6, "max_events": 48, "max_deltas": 2}
+
+
+def default_knobs() -> dict:
+    return dict(_DEFAULT_KNOBS)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one check on one graph instance.
+
+    ``ok`` is the verdict; ``comparisons`` counts the individual
+    oracle comparisons that backed it (so a vacuous pass is visible);
+    ``detail`` pinpoints the first divergence; ``summary`` carries the
+    check's plain-JSON measurement payload (meeting-time statistics,
+    coverage counts, ...).
+    """
+
+    ok: bool
+    comparisons: int
+    detail: str | None = None
+    summary: dict | None = None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "comparisons": self.comparisons,
+            "detail": self.detail,
+            "summary": self.summary or {},
+        }
+
+
+@dataclass(frozen=True)
+class CampaignCheck:
+    """A registered check: id, kind, and the oracle function."""
+
+    check_id: str
+    kind: str
+    doc: str
+    run: Callable[[dict, int, dict], CheckResult]
+
+
+def seeded_agent(seed: int):
+    """A pseudo-random deterministic agent program.
+
+    Mixes moves, waits, wait blocks, and clock-dependent port choices
+    — the idiom of the engine differential suites — so one seed axis
+    sweeps a broad slice of agent behaviors through both engines.
+    """
+
+    def algorithm(percept):
+        rng = SplitMix64(derive_seed("campaign-agent", seed))
+        while True:
+            roll = rng.randrange(10)
+            if roll < 5:
+                percept = yield Move(rng.randrange(percept.degree))
+            elif roll < 7:
+                percept = yield Wait()
+            elif roll < 9:
+                percept = yield WaitBlock(rng.randrange(5) + 1)
+            else:
+                percept = yield Move(percept.clock % percept.degree)
+
+    return algorithm
+
+
+def _sample_pairs(
+    n: int, rng: SplitMix64, count: int, *, distinct: bool = False
+) -> list[tuple[int, int]]:
+    """Deterministically sample ``count`` (u, v) start pairs."""
+    pairs = []
+    for _ in range(count):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if distinct and n > 1:
+            while v == u:
+                v = rng.randrange(n)
+        pairs.append((u, v))
+    return pairs
+
+
+def _fresh_context(graph: PortLabeledGraph) -> SymmetryContext:
+    """A private kernel context (bypasses the per-graph LRU memo).
+
+    Metamorphic checks build several same-``n`` graphs per cell; going
+    through :func:`symmetry_context` would be correct but would also
+    churn the global memo for no benefit.
+    """
+    return SymmetryContext(graph)
+
+
+def _verdict_fields(ctx: SymmetryContext, u: int, v: int, delta: int) -> tuple:
+    verdict = ctx.verdict(u, v, delta)
+    return (verdict.feasible, verdict.symmetric, verdict.shrink)
+
+
+# ---------------------------------------------------------------------------
+# Differential checks
+# ---------------------------------------------------------------------------
+
+
+def _check_stic_sweep(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "stic-sweep", seed))
+    budget = 8 * n + 24
+    stics = [
+        (u, v, rng.randrange(n + 3))
+        for u, v in _sample_pairs(n, rng, int(knobs["max_pairs"]))
+    ]
+    algorithm = seeded_agent(seed)
+    batch = run_rendezvous_batch(graph, stics, algorithm, max_rounds=budget)
+    met = 0
+    times = []
+    for (u, v, delta), got in zip(stics, batch):
+        want = run_rendezvous(graph, u, v, delta, algorithm, max_rounds=budget)
+        for field in (
+            "met",
+            "meeting_node",
+            "meeting_time",
+            "time_from_later",
+            "rounds_executed",
+        ):
+            if getattr(got, field) != getattr(want, field):
+                return CheckResult(
+                    ok=False,
+                    comparisons=len(stics),
+                    detail=(
+                        f"STIC [({u},{v}),{delta}]: batch {field}="
+                        f"{getattr(got, field)!r} != scalar "
+                        f"{getattr(want, field)!r}"
+                    ),
+                )
+        if got.met:
+            met += 1
+            times.append(got.meeting_time)
+    return CheckResult(
+        ok=True,
+        comparisons=len(stics),
+        summary={
+            "stics": len(stics),
+            "met": met,
+            "max_meeting_time": max(times) if times else None,
+        },
+    )
+
+
+def _schedule_pool(rng: SplitMix64, max_events: int) -> list:
+    word = tuple(
+        ("a", "b", "ab", "-")[rng.randrange(4)]
+        for _ in range(rng.randrange(5) + 2)
+    )
+    if all(sym == "-" for sym in word):
+        word = word + ("ab",)
+    return [
+        MirrorSchedule(),
+        EagerSchedule(first=rng.randrange(2)),
+        FixedDelaySchedule(rng.randrange(max_events // 2 + 1)),
+        RateSkewSchedule(rng.randrange(3) + 1, rng.randrange(3) + 1),
+        WordSchedule(word),
+        RandomSchedule(rng.randrange(1 << 16)),
+    ]
+
+
+def _check_schedule_sweep(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "schedule-sweep", seed))
+    max_events = int(knobs["max_events"])
+    schedules = _schedule_pool(rng, max_events)
+    cells = [
+        (u, v, schedules[rng.randrange(len(schedules))])
+        for u, v in _sample_pairs(n, rng, int(knobs["max_pairs"]))
+    ]
+    algorithm = seeded_agent(seed)
+    batch = run_schedule_sweep(graph, cells, algorithm, max_events=max_events)
+    node_meetings = edge_meetings = 0
+    for (u, v, schedule), got in zip(cells, batch):
+        want = run_schedule_adversary(
+            graph, u, v, algorithm, schedule, max_events=max_events
+        )
+        for field in ("met", "meeting_node", "events", "edge_meetings"):
+            if getattr(got, field) != getattr(want, field):
+                return CheckResult(
+                    ok=False,
+                    comparisons=len(cells),
+                    detail=(
+                        f"cell ({u},{v},{schedule.name}): sweep {field}="
+                        f"{getattr(got, field)!r} != scalar "
+                        f"{getattr(want, field)!r}"
+                    ),
+                )
+        node_meetings += got.met
+        edge_meetings += got.edge_meetings
+    return CheckResult(
+        ok=True,
+        comparisons=len(cells),
+        summary={
+            "cells": len(cells),
+            "node_meetings": node_meetings,
+            "edge_meetings": edge_meetings,
+        },
+    )
+
+
+def _check_symmetry_kernel(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "symmetry-kernel", seed))
+    ctx = _fresh_context(graph)
+    comparisons = 1
+    if ctx.color_list() != view_classes_reference(graph):
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail="kernel view partition != scalar refinement partition",
+        )
+    dist = ctx.distances
+    for u, v in _sample_pairs(n, rng, int(knobs["max_pairs"])):
+        comparisons += 1
+        value, alpha, (x, y) = ctx.shrink_witness(u, v)
+        ref_value, _ref_alpha, _ref_pair = shrink_witness_reference(graph, u, v)
+        if value != ref_value:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"Shrink({u},{v}): kernel {value} != reference {ref_value}"
+                ),
+            )
+        # Witness validity: alpha must actually drive (u, v) to (x, y)
+        # and the final pair must realize the claimed distance.
+        a, b = u, v
+        for port in alpha:
+            if port >= graph.degree(a) or port >= graph.degree(b):
+                return CheckResult(
+                    ok=False,
+                    comparisons=comparisons,
+                    detail=f"Shrink({u},{v}): witness port {port} invalid",
+                )
+            a, b = graph.succ(a, port), graph.succ(b, port)
+        if (a, b) != (x, y) or int(dist[x, y]) != value:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"Shrink({u},{v}): witness lands on ({a},{b}) at "
+                    f"distance {int(dist[a, b])}, claimed ({x},{y}) "
+                    f"at {value}"
+                ),
+            )
+    return CheckResult(
+        ok=True,
+        comparisons=comparisons,
+        summary={"classes": len(set(ctx.color_list())), "n": n},
+    )
+
+
+def _check_uxs_cover(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    stream = generate_offset_stream(
+        derive_seed("campaign-check", "uxs-cover", seed),
+        max(2 * n, 2),
+        max(64 * n, 8),
+    )
+    seq = tuple(int(a) for a in stream)
+    comparisons = 0
+    verdicts = []
+    for length in (n, 4 * n, 16 * n, 64 * n):
+        prefix = seq[:length]
+        fast = is_uxs_for_graph_vectorized(graph, prefix)
+        slow = is_uxs_for_graph_scalar(graph, prefix)
+        comparisons += 1
+        if fast != slow:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"prefix length {length}: vectorized certifier says "
+                    f"{fast}, scalar says {slow}"
+                ),
+            )
+        verdicts.append(fast)
+    # Strongest form on the full stream: per-start coverage counts.
+    counts = covered_counts(graph, seq)
+    for start in range(n):
+        comparisons += 1
+        scalar = len(set(apply_uxs(graph, start, seq)))
+        if int(counts[start]) != scalar:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"start {start}: vectorized coverage {int(counts[start])}"
+                    f" != scalar {scalar}"
+                ),
+            )
+    return CheckResult(
+        ok=True,
+        comparisons=comparisons,
+        summary={"prefix_verdicts": verdicts, "full_cover": all(
+            int(c) == n for c in counts
+        )},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic checks
+# ---------------------------------------------------------------------------
+
+
+def _permuted_graph(
+    graph: PortLabeledGraph, perm: list[int]
+) -> PortLabeledGraph:
+    return PortLabeledGraph(
+        graph.n,
+        [(perm[a], pa, perm[b], pb) for a, pa, b, pb in graph.edges],
+    )
+
+
+def _check_node_relabel(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "node-relabel", seed))
+    perm = random_port_permutation(n, rng)
+    image = _permuted_graph(graph, perm)
+    ctx, ctx2 = _fresh_context(graph), _fresh_context(image)
+    p = np.asarray(perm)
+    comparisons = 2
+    same = ctx.colors[:, None] == ctx.colors[None, :]
+    same2 = ctx2.colors[:, None] == ctx2.colors[None, :]
+    if not np.array_equal(same, same2[np.ix_(p, p)]):
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail="view partition is not invariant under node relabeling",
+        )
+    if not np.array_equal(ctx.shrink_all, ctx2.shrink_all[np.ix_(p, p)]):
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail="Shrink matrix is not invariant under node relabeling",
+        )
+    for u, v in _sample_pairs(n, rng, int(knobs["max_pairs"]), distinct=True):
+        for delta in range(int(knobs["max_deltas"]) + 1):
+            comparisons += 1
+            if _verdict_fields(ctx, u, v, delta) != _verdict_fields(
+                ctx2, perm[u], perm[v], delta
+            ):
+                return CheckResult(
+                    ok=False,
+                    comparisons=comparisons,
+                    detail=(
+                        f"verdict of [({u},{v}),{delta}] changed under "
+                        "node relabeling"
+                    ),
+                )
+    return CheckResult(ok=True, comparisons=comparisons, summary={"n": n})
+
+
+def _check_port_relabel(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "port-relabel", seed))
+    permutations = {
+        v: dict(enumerate(random_port_permutation(graph.degree(v), rng)))
+        for v in range(n)
+    }
+    image = relabel_ports(graph, permutations)
+    ctx, ctx2 = _fresh_context(graph), _fresh_context(image)
+    comparisons = 2
+    if not np.array_equal(graph.degrees, image.degrees):
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail="degree sequence changed under port relabeling",
+        )
+    if not np.array_equal(ctx.distances, ctx2.distances):
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail="distance matrix changed under port relabeling",
+        )
+    dist = ctx.distances
+    for u, v in _sample_pairs(n, rng, int(knobs["max_pairs"]), distinct=True):
+        comparisons += 1
+        s = int(ctx2.shrink_all[u, v])
+        if s > int(dist[u, v]):
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"Shrink({u},{v})={s} exceeds distance "
+                    f"{int(dist[u, v])} after port relabeling"
+                ),
+            )
+        for delta in range(int(knobs["max_deltas"]) + 1):
+            comparisons += 1
+            feasible, symmetric, shrink = _verdict_fields(ctx2, u, v, delta)
+            coherent = feasible == ((not symmetric) or delta >= shrink)
+            if not coherent:
+                return CheckResult(
+                    ok=False,
+                    comparisons=comparisons,
+                    detail=(
+                        f"verdict of [({u},{v}),{delta}] is incoherent "
+                        "with Corollary 3.1 after port relabeling"
+                    ),
+                )
+    return CheckResult(ok=True, comparisons=comparisons, summary={"n": n})
+
+
+# ---------------------------------------------------------------------------
+# Statistical check
+# ---------------------------------------------------------------------------
+
+
+def _check_meeting_time(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "meeting-time", seed))
+    budget = 8 * n + 24
+    stics = [
+        (u, v, rng.randrange(n + 3))
+        for u, v in _sample_pairs(n, rng, int(knobs["max_pairs"]))
+    ]
+    ctx = _fresh_context(graph)
+    dist = ctx.distances
+    results = run_rendezvous_batch(
+        graph, stics, seeded_agent(seed), max_rounds=budget
+    )
+    times = []
+    comparisons = 0
+    for (u, v, delta), r in zip(stics, results):
+        comparisons += 1
+        if not r.met:
+            if r.rounds_executed != budget:
+                return CheckResult(
+                    ok=False,
+                    comparisons=comparisons,
+                    detail=(
+                        f"STIC [({u},{v}),{delta}]: unmet run executed "
+                        f"{r.rounds_executed} rounds, budget {budget}"
+                    ),
+                )
+            continue
+        floor = max(delta, math.ceil((int(dist[u, v]) + delta) / 2))
+        if not floor <= r.meeting_time <= budget:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"STIC [({u},{v}),{delta}]: meeting time "
+                    f"{r.meeting_time} outside kinematic range "
+                    f"[{floor}, {budget}]"
+                ),
+            )
+        if r.rounds_executed != r.meeting_time:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"STIC [({u},{v}),{delta}]: rounds_executed "
+                    f"{r.rounds_executed} != meeting time {r.meeting_time}"
+                ),
+            )
+        times.append(int(r.meeting_time))
+    summary = {
+        "stics": len(stics),
+        "met": len(times),
+        "met_rate": round(len(times) / max(len(stics), 1), 4),
+        "mean_meeting_time": (
+            round(sum(times) / len(times), 3) if times else None
+        ),
+        "max_meeting_time": max(times) if times else None,
+    }
+    return CheckResult(ok=True, comparisons=comparisons, summary=summary)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_CHECKS = [
+    CampaignCheck(
+        "differential/stic-sweep",
+        "differential",
+        "batched STIC rendezvous engine vs scalar scheduler",
+        _check_stic_sweep,
+    ),
+    CampaignCheck(
+        "differential/schedule-sweep",
+        "differential",
+        "batched adversary-schedule engine vs scalar reference",
+        _check_schedule_sweep,
+    ),
+    CampaignCheck(
+        "differential/symmetry-kernel",
+        "differential",
+        "array symmetry kernel vs scalar refinement/BFS references",
+        _check_symmetry_kernel,
+    ),
+    CampaignCheck(
+        "differential/uxs-cover",
+        "differential",
+        "vectorized UXS certifier vs scalar per-start walks",
+        _check_uxs_cover,
+    ),
+    CampaignCheck(
+        "metamorphic/node-relabel",
+        "metamorphic",
+        "verdicts/Shrink invariant under port-preserving node permutation",
+        _check_node_relabel,
+    ),
+    CampaignCheck(
+        "metamorphic/port-relabel",
+        "metamorphic",
+        "distances/coherence invariant under per-node port permutation",
+        _check_port_relabel,
+    ),
+    CampaignCheck(
+        "statistical/meeting-time",
+        "statistical",
+        "meeting-time summaries within hard kinematic bounds",
+        _check_meeting_time,
+    ),
+]
+
+#: Check id -> :class:`CampaignCheck`; the campaign vocabulary.
+CHECKS: dict[str, CampaignCheck] = {c.check_id: c for c in _CHECKS}
+
+#: The distinct check kinds, in registry order.
+CHECK_KINDS: tuple[str, ...] = tuple(
+    dict.fromkeys(c.kind for c in _CHECKS)
+)
+
+
+def run_check(check_id: str, graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    """Execute one registered check on one seeded graph instance.
+
+    An unknown ``check_id`` raises (a campaign-config error, validated
+    before any shard runs).  An exception *inside* the check body —
+    an engine crashing instead of returning a wrong answer, a builder
+    rejecting its parameters — is itself a failing verdict: it is
+    converted to a ``CheckResult`` so the cell still shrinks to a
+    replay artifact and the rest of the grid keeps running, and since
+    the check is deterministic the replay re-raises identically.
+    """
+    if check_id not in CHECKS:
+        raise KeyError(
+            f"unknown check {check_id!r}; known: {sorted(CHECKS)}"
+        )
+    merged = {**_DEFAULT_KNOBS, **(knobs or {})}
+    try:
+        return CHECKS[check_id].run(graph_spec, seed, merged)
+    except Exception as exc:
+        return CheckResult(
+            ok=False,
+            comparisons=0,
+            detail=f"check raised {type(exc).__name__}: {exc}",
+            summary={"raised": True},
+        )

@@ -1,0 +1,184 @@
+"""``repro campaign`` — run, list, and replay randomized campaigns.
+
+Subcommands::
+
+    repro campaign run [NAME ...] [--tier T] [--jobs N] [--seed S]
+                       [--cache-dir PATH | --no-cache]
+                       [--artifacts DIR]
+    repro campaign list
+    repro campaign replay ARTIFACT.json
+
+``run`` executes the selected campaigns (default: all) through the
+sharded orchestrator — ``--jobs`` and the content-addressed cache
+behave exactly as for ``python -m repro`` — and writes one replay
+artifact per failing cell.  ``replay`` re-executes a failure from its
+artifact alone; exit status 1 means the failure still reproduces,
+0 means the underlying bug no longer manifests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.campaigns.artifacts import (
+    DEFAULT_ARTIFACT_DIR,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from repro.campaigns.checks import CHECKS
+from repro.campaigns.registry import CAMPAIGNS, get_campaign
+from repro.experiments.orchestrator import run_suite
+from repro.experiments.scenarios import TIERS
+from repro.experiments.store import DEFAULT_CACHE_DIR, ResultStore
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.campaigns import driver
+
+    print(f"{'campaign':<18} {'cells (smoke/fast/full/stress)':<32} checks")
+    for name, spec in CAMPAIGNS.items():
+        counts = "/".join(
+            str(len(driver.make_shards(spec.config(tier)))) for tier in TIERS
+        )
+        checks = sorted({c for t in spec.tiers.values() for c in t["checks"]})
+        kinds = sorted({CHECKS[c].kind for c in checks})
+        print(
+            f"{name:<18} {counts:<32} "
+            f"{len(checks)} checks ({', '.join(kinds)})"
+        )
+    print()
+    print("checks:")
+    for check_id, check in CHECKS.items():
+        print(f"  {check_id:<30} {check.doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        specs = [get_campaign(name) for name in (args.campaigns or CAMPAIGNS)]
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    started = time.perf_counter()
+    runs = run_suite(
+        specs, tier=args.tier, seed=args.seed, jobs=args.jobs, store=store
+    )
+    elapsed = time.perf_counter() - started
+    failures = 0
+    for run in runs:
+        print(run.record.to_text())
+        for outcome in run.shards:
+            for artifact in (outcome.result or {}).get("failures", []):
+                failures += 1
+                path = write_artifact(artifact, args.artifacts)
+                print(
+                    f"FAILED cell {artifact['check']} on "
+                    f"{artifact['graph_spec']} -> {path}"
+                )
+        print(
+            f"({run.seconds:.1f}s, cells {run.shards_cached}/"
+            f"{len(run.shards)} cached)\n"
+        )
+    total = sum(len(run.shards) for run in runs)
+    computed = sum(run.shards_computed for run in runs)
+    rate = total / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"cells: total={total} recomputed={computed} "
+        f"cached={total - computed} failures={failures} "
+        f"({elapsed:.1f}s, {rate:.1f} cells/s, tier={args.tier}, "
+        f"jobs={args.jobs})"
+    )
+    if failures:
+        print(
+            f"{failures} failing cell(s); replay with "
+            f"`repro campaign replay {args.artifacts}/replay-*.json`"
+        )
+    return 1 if failures else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        artifact = load_artifact(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load artifact: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"replaying {artifact['check']} on {artifact['graph_spec']} "
+        f"(seed {artifact['seed']})"
+    )
+    if artifact.get("detail"):
+        print(f"recorded failure: {artifact['detail']}")
+    result = replay_artifact(artifact)
+    if result.ok:
+        print(
+            f"check PASSED ({result.comparisons} comparisons) — the "
+            "recorded failure no longer reproduces"
+        )
+        return 0
+    print(f"check FAILED (reproduced): {result.detail}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro campaign", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="execute campaigns through the sharded orchestrator"
+    )
+    run_parser.add_argument(
+        "campaigns", nargs="*", help=f"campaign names (default all: {sorted(CAMPAIGNS)})"
+    )
+    run_parser.add_argument(
+        "--tier", choices=TIERS, default="smoke",
+        help="scale tier (default smoke)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cell execution (default 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the campaign base seed (new grid, fresh cache keys)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", metavar="PATH", default=DEFAULT_CACHE_DIR,
+        help=f"result-store location (default {DEFAULT_CACHE_DIR})",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result store (recompute every cell)",
+    )
+    run_parser.add_argument(
+        "--artifacts", metavar="DIR", default=DEFAULT_ARTIFACT_DIR,
+        help=f"replay-artifact directory (default {DEFAULT_ARTIFACT_DIR})",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    list_parser = sub.add_parser(
+        "list", help="list campaigns, grid sizes, and the check registry"
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-execute one failure from its replay artifact"
+    )
+    replay_parser.add_argument("artifact", help="path to a replay-*.json file")
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    if args.command == "run" and args.jobs < 1:
+        run_parser.error("--jobs must be >= 1")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

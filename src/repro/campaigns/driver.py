@@ -1,0 +1,263 @@
+"""Campaign driver: the scenario protocol over a randomized check grid.
+
+A campaign is an off-registry :class:`ScenarioSpec` whose ``module``
+points here, so the PR 4 orchestrator — ``--jobs`` sharding, the
+content-addressed result store, byte-identical merges — executes it
+unchanged.  Tier params describe the grid declaratively::
+
+    {
+      "families": [{"family": <name>, "rungs": [<kwargs>, ...]}, ...],
+      "checks": [<check id>, ...],
+      "seeds_per_cell": <int>,
+      "knobs": {<check sampling bounds>},
+    }
+
+``make_shards`` emits one shard per (family, size rung, check) cell;
+``run_shard`` executes the cell's seed block, derives every instance
+seed from ``(campaign, family, rung, config seed, index)`` through
+:func:`derive_seed` (axis-separated — property-tested in
+tests/util), and on the first failure *shrinks* it: candidate cells
+over smaller rungs and earlier seeds are replayed in ascending size
+order, and the smallest that still fails becomes the replay artifact
+(family spec + seed + check id + knobs) that ``repro campaign
+replay`` reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.checks import CHECKS, CheckResult, default_knobs, run_check
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.scenarios import GRAPH_FAMILIES, RunConfig
+from repro.experiments.store import canonical_json
+from repro.util.lcg import derive_seed
+
+__all__ = [
+    "cell_seed",
+    "resolve_graph_spec",
+    "make_shards",
+    "run_shard",
+    "merge",
+    "SHRINK_BUDGET",
+]
+
+#: Maximum check re-executions a shrink pass may spend; the original
+#: failure always remains available as the fallback artifact.
+SHRINK_BUDGET = 32
+
+
+def cell_seed(
+    campaign: str, family: str, rung: dict, config_seed: int, index: int
+) -> int:
+    """Instance seed of one campaign cell; every axis separates.
+
+    The rung enters through its canonical JSON, so two rungs differing
+    in any kwarg (not just ``n``) get independent streams.
+    """
+    return derive_seed(
+        "campaign-cell", campaign, family, canonical_json(rung), config_seed, index
+    )
+
+
+def resolve_graph_spec(family: str, rung: dict, instance_seed: int) -> dict:
+    """The concrete ``build_graph`` spec of one cell instance.
+
+    Seeded families (graph *distributions*) get the instance seed
+    injected; structured families take the rung verbatim — their
+    instances differ only through the check's own seeded sampling.
+    """
+    entry = GRAPH_FAMILIES[family]
+    spec = {"family": family, **rung}
+    if entry.seeded:
+        if "seed" in rung:
+            raise ValueError(
+                f"campaign rung for {family!r} must not pin 'seed'; "
+                "the campaign injects per-cell seeds"
+            )
+        spec["seed"] = instance_seed
+    return spec
+
+
+def _validate_params(params: dict) -> None:
+    for fam in params["families"]:
+        if fam["family"] not in GRAPH_FAMILIES:
+            raise KeyError(
+                f"campaign references unknown graph family {fam['family']!r}; "
+                f"known: {sorted(GRAPH_FAMILIES)}"
+            )
+    for check_id in params["checks"]:
+        if check_id not in CHECKS:
+            raise KeyError(
+                f"campaign references unknown check {check_id!r}; "
+                f"known: {sorted(CHECKS)}"
+            )
+
+
+def make_shards(config: RunConfig) -> list[dict]:
+    """One shard per (family, rung, check) grid cell, in grid order."""
+    _validate_params(config.params)
+    return [
+        {
+            "family": fam["family"],
+            "rung_index": index,
+            "rung": rung,
+            "check": check_id,
+        }
+        for fam in config.params["families"]
+        for index, rung in enumerate(fam["rungs"])
+        for check_id in config.params["checks"]
+    ]
+
+
+def _run_cell(
+    config: RunConfig, family: str, rung: dict, check_id: str, index: int
+) -> tuple[int, dict, CheckResult]:
+    knobs = config.params.get("knobs") or {}
+    seed = cell_seed(config.exp_id, family, rung, config.seed, index)
+    spec = resolve_graph_spec(family, rung, seed)
+    return seed, spec, run_check(check_id, spec, seed, knobs)
+
+
+def _artifact(
+    config: RunConfig,
+    check_id: str,
+    family: str,
+    rung: dict,
+    index: int,
+    seed: int,
+    spec: dict,
+    result: CheckResult,
+) -> dict:
+    return {
+        "campaign": config.exp_id,
+        "tier": config.tier,
+        "config_seed": config.seed,
+        "check": check_id,
+        "family": family,
+        "rung": rung,
+        "seed_index": index,
+        "graph_spec": spec,
+        "seed": seed,
+        "knobs": {**default_knobs(), **(config.params.get("knobs") or {})},
+        "detail": result.detail,
+    }
+
+
+def _shrink_failure(
+    config: RunConfig, shard: dict, first_failure: dict
+) -> dict:
+    """Replay smaller cells; the smallest still-failing one wins.
+
+    Candidates run in ascending (rung, seed index) order over the
+    failing family's ladder up to the failing rung, so the first
+    reproduction *is* the minimum.  The pass is bounded by
+    :data:`SHRINK_BUDGET` executions and falls back to the original
+    failing cell when nothing smaller reproduces.
+    """
+    family, check_id = shard["family"], shard["check"]
+    ladder = next(
+        fam["rungs"]
+        for fam in config.params["families"]
+        if fam["family"] == family
+    )
+    seeds = int(config.params.get("seeds_per_cell", 1))
+    executed = 0
+    for rung_index in range(shard["rung_index"] + 1):
+        rung = ladder[rung_index]
+        for index in range(seeds):
+            if rung_index == first_failure["rung_index"]:
+                if index < first_failure["seed_index"]:
+                    continue  # already passed during the shard run
+                # Reached the original cell: nothing smaller failed.
+                return first_failure["artifact"]
+            if executed >= SHRINK_BUDGET:
+                return first_failure["artifact"]
+            executed += 1
+            seed, spec, result = _run_cell(
+                config, family, rung, check_id, index
+            )
+            if not result.ok:
+                artifact = _artifact(
+                    config, check_id, family, rung, index, seed, spec, result
+                )
+                artifact["shrunk_from"] = {
+                    "rung_index": first_failure["rung_index"],
+                    "seed_index": first_failure["seed_index"],
+                }
+                return artifact
+    return first_failure["artifact"]
+
+
+def run_shard(config: RunConfig, shard: dict) -> dict:
+    """Execute one grid cell's seed block; shrink the first failure."""
+    family, check_id = shard["family"], shard["check"]
+    rung = shard["rung"]
+    instances = comparisons = 0
+    summary: dict = {}
+    failure: dict | None = None
+    for index in range(int(config.params.get("seeds_per_cell", 1))):
+        seed, spec, result = _run_cell(config, family, rung, check_id, index)
+        instances += 1
+        comparisons += result.comparisons
+        if result.ok:
+            summary = result.summary or {}
+            continue
+        failure = {
+            "rung_index": shard["rung_index"],
+            "seed_index": index,
+            "artifact": _artifact(
+                config, check_id, family, rung, index, seed, spec, result
+            ),
+        }
+        break
+    failures = [_shrink_failure(config, shard, failure)] if failure else []
+    return {
+        "family": family,
+        "check": check_id,
+        "rung_index": shard["rung_index"],
+        "ok": not failures,
+        "instances": instances,
+        "comparisons": comparisons,
+        "summary": summary,
+        "failures": failures,
+    }
+
+
+def merge(config: RunConfig, shard_results: list[dict]) -> ExperimentRecord:
+    """Aggregate cells into the campaign's record (shard order)."""
+    rows = []
+    failures = 0
+    kinds = set()
+    for result in shard_results:
+        kinds.add(CHECKS[result["check"]].kind)
+        failures += len(result["failures"])
+        rows.append(
+            {
+                "family": result["family"],
+                "rung": result["rung_index"],
+                "check": result["check"],
+                "instances": result["instances"],
+                "comparisons": result["comparisons"],
+                "verdict": "ok" if result["ok"] else "FAIL",
+            }
+        )
+    families = len({r["family"] for r in rows})
+    record = ExperimentRecord(
+        exp_id=config.exp_id,
+        title=f"randomized campaign ({config.tier} tier)",
+        paper_claim=(
+            "feasibility verdicts, Shrink, UXS coverage, and both "
+            "rendezvous engines obey the paper's guarantees on every "
+            "port-labeled graph, not just the structured examples"
+        ),
+        columns=["family", "rung", "check", "instances", "comparisons", "verdict"],
+        measured_summary=(
+            f"{len(rows)} cells over {families} families, "
+            f"{sum(r['instances'] for r in rows)} instances, "
+            f"{sum(r['comparisons'] for r in rows)} comparisons, "
+            f"{failures} failing"
+        ),
+        passed=failures == 0,
+        notes=f"check kinds: {', '.join(sorted(kinds))}",
+    )
+    record.rows = rows
+    return record

@@ -1,0 +1,157 @@
+"""Built-in campaigns and the ``make_campaign`` spec factory.
+
+Campaigns are plain :class:`ScenarioSpec` objects (module =
+``repro.campaigns.driver``) living *off* the experiment registry —
+``python -m repro`` keeps running only the paper's experiments, while
+``repro campaign run`` feeds these specs straight into the same
+orchestrator.  Two ship by default:
+
+* ``core`` — the wide fuzz grid: every check kind over structured,
+  Cayley, and random families, tiered from a seconds-long CI smoke
+  round to an overnight ``stress`` soak;
+* ``random`` — random distributions only, with deeper seed blocks per
+  cell (the paper's guarantees quantify over *all* graphs; unstructured
+  inputs are where the engines have historically disagreed first).
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.checks import CHECKS
+from repro.experiments.scenarios import ScenarioSpec
+
+__all__ = ["CAMPAIGNS", "get_campaign", "make_campaign"]
+
+#: Cache salt for campaign shards; bump when check semantics change.
+CAMPAIGN_CODE_VERSION = 1
+
+_ALL_CHECKS = list(CHECKS)
+_DIFFERENTIAL = [c for c in CHECKS if c.startswith("differential/")]
+
+
+def make_campaign(
+    name: str,
+    *,
+    title: str,
+    tiers: dict[str, dict],
+    seed: int = 0,
+    code_version: int = CAMPAIGN_CODE_VERSION,
+) -> ScenarioSpec:
+    """Build a campaign spec the orchestrator can run directly."""
+    return ScenarioSpec(
+        exp_id=f"CAMPAIGN/{name}",
+        title=title,
+        module="repro.campaigns.driver",
+        shard_axis="(graph family, size rung, check) grid cell",
+        tiers=tiers,
+        seed=seed,
+        code_version=code_version,
+    )
+
+
+def _tier(
+    families: list[dict],
+    checks: list[str],
+    seeds_per_cell: int,
+    knobs: dict | None = None,
+) -> dict:
+    return {
+        "families": families,
+        "checks": checks,
+        "seeds_per_cell": seeds_per_cell,
+        "knobs": knobs or {},
+    }
+
+
+# Size ladders per family: rung 0 is the shrink target, later rungs
+# scale the same distribution up.  Seeded families omit "seed" — the
+# driver injects per-cell seeds.
+_STRUCTURED = {
+    "oriented_ring": [{"n": 5}, {"n": 8}, {"n": 12}, {"n": 24}],
+    "hypercube": [{"dim": 2}, {"dim": 3}, {"dim": 4}],
+    "symmetric_tree": [
+        {"arity": 2, "depth": 1},
+        {"arity": 2, "depth": 2},
+        {"arity": 2, "depth": 3},
+    ],
+    "complete": [{"n": 4}, {"n": 5}, {"n": 7}, {"n": 9}],
+    "circulant": [
+        {"n": 6, "steps": [1]},
+        {"n": 8, "steps": [1, 3]},
+        {"n": 12, "steps": [1, 4]},
+        {"n": 16, "steps": [1, 3, 8]},
+    ],
+    "cayley_abelian": [
+        {"moduli": [3, 3], "generators": [[1, 0], [0, 1]]},
+        {"moduli": [4, 3], "generators": [[1, 0], [0, 1]]},
+        {"moduli": [4, 4], "generators": [[1, 0], [0, 1], [2, 2]]},
+    ],
+}
+
+_RANDOM = {
+    "random_tree": [{"n": 5}, {"n": 8}, {"n": 12}, {"n": 20}],
+    "random_connected": [
+        {"n": 5, "extra_edges": 2},
+        {"n": 8, "extra_edges": 4},
+        {"n": 12, "extra_edges": 8},
+        {"n": 16, "extra_edges": 20},
+    ],
+    "random_regular": [
+        {"n": 6, "degree": 3},
+        {"n": 8, "degree": 3},
+        {"n": 12, "degree": 4},
+        {"n": 16, "degree": 4},
+    ],
+}
+
+
+def _grid(ladders: dict[str, list[dict]], rungs: int) -> list[dict]:
+    return [
+        {"family": family, "rungs": ladder[:rungs]}
+        for family, ladder in ladders.items()
+    ]
+
+
+_CORE_LADDERS = {**_STRUCTURED, **_RANDOM}
+
+CAMPAIGNS: dict[str, ScenarioSpec] = {
+    "core": make_campaign(
+        "core",
+        title="differential + metamorphic + statistical fuzz grid",
+        tiers={
+            "smoke": _tier(_grid(_CORE_LADDERS, 1), _ALL_CHECKS, 2),
+            "fast": _tier(_grid(_CORE_LADDERS, 2), _ALL_CHECKS, 3),
+            "full": _tier(_grid(_CORE_LADDERS, 3), _ALL_CHECKS, 4),
+            "stress": _tier(
+                _grid(_CORE_LADDERS, 4),
+                _ALL_CHECKS,
+                6,
+                {"max_pairs": 10, "max_events": 96, "max_deltas": 3},
+            ),
+        },
+    ),
+    "random": make_campaign(
+        "random",
+        title="deep seed blocks over random graph distributions",
+        tiers={
+            "smoke": _tier(_grid(_RANDOM, 1), _DIFFERENTIAL, 3),
+            "fast": _tier(_grid(_RANDOM, 2), _ALL_CHECKS, 6),
+            "full": _tier(_grid(_RANDOM, 3), _ALL_CHECKS, 10),
+            "stress": _tier(
+                _grid(_RANDOM, 4),
+                _ALL_CHECKS,
+                16,
+                {"max_pairs": 10, "max_events": 96, "max_deltas": 3},
+            ),
+        },
+    ),
+}
+
+
+def get_campaign(name: str) -> ScenarioSpec:
+    """Resolve a campaign name, accepting the ``CAMPAIGN/`` prefix."""
+    key = name.removeprefix("CAMPAIGN/")
+    if key not in CAMPAIGNS:
+        raise KeyError(
+            f"unknown campaign {name!r}; known: {sorted(CAMPAIGNS)}"
+        )
+    return CAMPAIGNS[key]

@@ -41,6 +41,7 @@ __all__ = [
     "ShardOutcome",
     "ExperimentRun",
     "validate_experiment_ids",
+    "resolve_specs",
     "plan_shards",
     "run_experiment",
     "run_suite",
@@ -53,7 +54,10 @@ class ShardOutcome:
 
     ``seconds`` is the shard's own execution time as measured in the
     worker that ran it (0.0 for cache hits), so it is meaningful for
-    finding slow shards even under ``--jobs N``.
+    finding slow shards even under ``--jobs N``.  ``result`` is the
+    shard's normalized payload — what ``merge`` consumed — so callers
+    that need per-shard detail beyond the merged record (the campaign
+    CLI extracting replay artifacts, say) get it without a cache read.
     """
 
     index: int
@@ -61,6 +65,7 @@ class ShardOutcome:
     key: str
     cached: bool
     seconds: float
+    result: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +108,27 @@ def validate_experiment_ids(ids: list[str] | None) -> list[str]:
             f"known: {sorted(SCENARIO_MODULES)}"
         )
     return list(ids)
+
+
+def resolve_specs(
+    selection: list[str | ScenarioSpec] | None,
+) -> list[ScenarioSpec]:
+    """Resolve a mixed selection of registry ids and literal specs.
+
+    Strings go through the experiment registry (every unknown id is
+    rejected before anything executes); :class:`ScenarioSpec` instances
+    pass through as-is, which is how off-registry scenarios — the
+    randomized campaigns of :mod:`repro.campaigns` — ride the same
+    sharded/cached execution path as the registered experiments.
+    """
+    if selection is None:
+        return [get_scenario(exp_id) for exp_id in SCENARIO_MODULES]
+    ids = [item for item in selection if isinstance(item, str)]
+    validate_experiment_ids(ids)
+    return [
+        item if isinstance(item, ScenarioSpec) else get_scenario(item)
+        for item in selection
+    ]
 
 
 def plan_shards(spec: ScenarioSpec, config: RunConfig) -> list[dict]:
@@ -156,9 +182,10 @@ def _finish_plan(plan: _Plan, durations: list[float]) -> ExperimentRun:
             key=key,
             cached=duration < 0,
             seconds=max(duration, 0.0),
+            result=result,
         )
-        for i, (shard, key, duration) in enumerate(
-            zip(plan.shards, plan.keys, durations)
+        for i, (shard, key, duration, result) in enumerate(
+            zip(plan.shards, plan.keys, durations, plan.data)
         )
     ]
     return ExperimentRun(
@@ -170,7 +197,7 @@ def _finish_plan(plan: _Plan, durations: list[float]) -> ExperimentRun:
 
 
 def run_suite(
-    ids: list[str] | None = None,
+    ids: list[str | ScenarioSpec] | None = None,
     *,
     tier: str = "fast",
     seed: int | None = None,
@@ -179,15 +206,16 @@ def run_suite(
 ) -> list[ExperimentRun]:
     """Run a selection of experiments, sharded and optionally parallel.
 
-    All experiments' missing shards share one process pool, so a wide
+    The selection mixes registry ids with literal
+    :class:`ScenarioSpec` objects (see :func:`resolve_specs`).  All
+    experiments' missing shards share one process pool, so a wide
     selection saturates ``--jobs`` workers even when individual
     experiments have few shards.  Results come back in selection order
     with shard order preserved inside each experiment.
     """
-    selected = validate_experiment_ids(ids)
     plans = [
-        _make_plan(get_scenario(exp_id), tier=tier, seed=seed, store=store)
-        for exp_id in selected
+        _make_plan(spec, tier=tier, seed=seed, store=store)
+        for spec in resolve_specs(ids)
     ]
 
     # (plan index, shard index) of every cache miss, in deterministic order.
@@ -258,17 +286,14 @@ def run_experiment(
     store: ResultStore | None = None,
 ) -> ExperimentRun:
     """Run one experiment through the sharded pipeline."""
-    exp_id = (
-        spec_or_id if isinstance(spec_or_id, str) else spec_or_id.exp_id
-    )
     (run,) = run_suite(
-        [exp_id], tier=tier, seed=seed, jobs=jobs, store=store
+        [spec_or_id], tier=tier, seed=seed, jobs=jobs, store=store
     )
     return run
 
 
 def shard_status(
-    ids: list[str] | None,
+    ids: list[str | ScenarioSpec] | None,
     *,
     tier: str,
     seed: int | None,
@@ -276,8 +301,8 @@ def shard_status(
 ) -> list[tuple[str, int, int]]:
     """Per-experiment ``(exp_id, cached, total)`` cache occupancy."""
     rows = []
-    for exp_id in validate_experiment_ids(ids):
-        plan = _make_plan(get_scenario(exp_id), tier=tier, seed=seed, store=store)
+    for spec in resolve_specs(ids):
+        plan = _make_plan(spec, tier=tier, seed=seed, store=store)
         cached = sum(payload is not None for payload in plan.data)
-        rows.append((exp_id, cached, len(plan.shards)))
+        rows.append((spec.exp_id, cached, len(plan.shards)))
     return rows

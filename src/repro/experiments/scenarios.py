@@ -30,6 +30,7 @@ full contract.
 
 from __future__ import annotations
 
+import difflib
 import importlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -43,6 +44,7 @@ __all__ = [
     "all_scenarios",
     "tier_for",
     "build_graph",
+    "GraphFamily",
     "GRAPH_FAMILIES",
 ]
 
@@ -172,40 +174,142 @@ def all_scenarios() -> dict[str, ScenarioSpec]:
 # JSON specs so they can cross process boundaries and enter cache keys.
 # --------------------------------------------------------------------
 
-def _families() -> dict[str, Callable[..., Any]]:
-    from repro.graphs import families, random_graphs
 
-    return {
-        "two_node": lambda: families.two_node_graph(),
-        "oriented_ring": lambda n: families.oriented_ring(n),
-        "oriented_torus": lambda rows, cols: families.oriented_torus(rows, cols),
-        "hypercube": lambda dim: families.hypercube(dim),
-        "symmetric_tree": lambda arity, depth: families.symmetric_tree(arity, depth),
-        "complete": lambda n: families.complete_graph(n),
-        "path": lambda n: families.path_graph(n),
-        "star": lambda leaves: families.star_graph(leaves),
-        "labeled_ring": lambda ports: families.labeled_ring(
-            [tuple(p) for p in ports]
+@dataclass(frozen=True)
+class GraphFamily:
+    """One entry of the declarative graph-family vocabulary.
+
+    Attributes
+    ----------
+    name:
+        The ``"family"`` key a JSON spec uses to select this builder.
+    params:
+        Required kwarg names, in builder-signature order.  Every param
+        is mandatory: a spec with missing or unexpected keys is
+        rejected up front with an error naming this tuple.
+    build:
+        Builder taking exactly ``params`` as kwargs (plain-JSON values;
+        the builder adapts them — e.g. lists back to tuples).
+    seeded:
+        True when the builder consumes a ``seed`` kwarg, i.e. the
+        family is a *distribution* over graphs.  Randomized campaigns
+        use this flag to know where to inject their per-cell seeds.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    build: Callable[..., Any]
+
+    @property
+    def seeded(self) -> bool:
+        return "seed" in self.params
+
+
+def _family_table() -> dict[str, GraphFamily]:
+    from repro.graphs import cayley, families, random_graphs
+
+    entries = [
+        GraphFamily("two_node", (), lambda: families.two_node_graph()),
+        GraphFamily("oriented_ring", ("n",), lambda n: families.oriented_ring(n)),
+        GraphFamily(
+            "oriented_torus",
+            ("rows", "cols"),
+            lambda rows, cols: families.oriented_torus(rows, cols),
         ),
-        "random_connected": lambda n, extra_edges, seed: (
-            random_graphs.random_connected_graph(n, extra_edges, seed=seed)
+        GraphFamily("hypercube", ("dim",), lambda dim: families.hypercube(dim)),
+        GraphFamily(
+            "symmetric_tree",
+            ("arity", "depth"),
+            lambda arity, depth: families.symmetric_tree(arity, depth),
         ),
-    }
+        GraphFamily("complete", ("n",), lambda n: families.complete_graph(n)),
+        GraphFamily("path", ("n",), lambda n: families.path_graph(n)),
+        GraphFamily("star", ("leaves",), lambda leaves: families.star_graph(leaves)),
+        GraphFamily(
+            "labeled_ring",
+            ("ports",),
+            lambda ports: families.labeled_ring([tuple(p) for p in ports]),
+        ),
+        GraphFamily(
+            "cayley_abelian",
+            ("moduli", "generators"),
+            lambda moduli, generators: cayley.cayley_abelian(
+                tuple(moduli), [tuple(g) for g in generators]
+            ),
+        ),
+        GraphFamily(
+            "circulant",
+            ("n", "steps"),
+            lambda n, steps: cayley.cayley_abelian(
+                (n,), [(int(s),) for s in steps]
+            ),
+        ),
+        GraphFamily(
+            "random_tree",
+            ("n", "seed"),
+            lambda n, seed: random_graphs.random_tree(n, seed=seed),
+        ),
+        GraphFamily(
+            "random_connected",
+            ("n", "extra_edges", "seed"),
+            lambda n, extra_edges, seed: random_graphs.random_connected_graph(
+                n, extra_edges, seed=seed
+            ),
+        ),
+        GraphFamily(
+            "random_regular",
+            ("n", "degree", "seed"),
+            lambda n, degree, seed: random_graphs.random_regular_graph(
+                n, degree, seed=seed
+            ),
+        ),
+    ]
+    return {entry.name: entry for entry in entries}
 
 
-#: Family name -> builder; the declarative vocabulary of graph specs.
-GRAPH_FAMILIES = tuple(sorted(_families()))
+#: Family name -> :class:`GraphFamily`; the single declarative registry
+#: of graph constructions.  Scenario specs *and* the randomized
+#: campaign layer (:mod:`repro.campaigns`) both draw from this table,
+#: so a family added here is immediately addressable from both.
+GRAPH_FAMILIES: dict[str, GraphFamily] = _family_table()
+
+
+def _family_catalog() -> str:
+    return "; ".join(
+        f"{name}({', '.join(fam.params)})" for name, fam in sorted(GRAPH_FAMILIES.items())
+    )
 
 
 def build_graph(spec: dict):
     """Build a port-labeled graph from a declarative JSON spec.
 
     ``{"family": "oriented_torus", "rows": 3, "cols": 3}`` — the
-    ``family`` key picks the builder, the rest are its kwargs.
+    ``family`` key picks the builder from :data:`GRAPH_FAMILIES`, the
+    rest are its kwargs.  Unknown families raise a ``KeyError`` that
+    suggests near-miss names and lists every family with its required
+    kwargs; wrong kwargs raise a ``TypeError`` naming the expected set.
     """
     kwargs = dict(spec)
-    family = kwargs.pop("family")
-    builders = _families()
-    if family not in builders:
-        raise KeyError(f"unknown graph family {family!r}; known: {GRAPH_FAMILIES}")
-    return builders[family](**kwargs)
+    family = kwargs.pop("family", None)
+    if family is None:
+        raise KeyError(
+            f"graph spec {spec!r} is missing the 'family' key; "
+            f"known families: {_family_catalog()}"
+        )
+    entry = GRAPH_FAMILIES.get(family)
+    if entry is None:
+        close = difflib.get_close_matches(str(family), GRAPH_FAMILIES, n=3)
+        hint = f" (did you mean {' or '.join(map(repr, close))}?)" if close else ""
+        raise KeyError(
+            f"unknown graph family {family!r}{hint}; "
+            f"known families: {_family_catalog()}"
+        )
+    missing = [p for p in entry.params if p not in kwargs]
+    unexpected = sorted(k for k in kwargs if k not in entry.params)
+    if missing or unexpected:
+        raise TypeError(
+            f"graph family {family!r} takes exactly "
+            f"({', '.join(entry.params)}); "
+            f"missing: {missing or 'none'}, unexpected: {unexpected or 'none'}"
+        )
+    return entry.build(**kwargs)

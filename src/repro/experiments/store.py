@@ -84,7 +84,12 @@ class ResultStore:
 
     def get(self, key: str) -> dict | None:
         """Return the stored data payload, or None (missing/corrupt)."""
-        path = self.path_for(key)
+        entry = self._load_entry(self.path_for(key), key)
+        return None if entry is None else entry["data"]
+
+    @staticmethod
+    def _load_entry(path: Path, key: str) -> dict | None:
+        """Parse and validate one entry file against its claimed key."""
         try:
             entry = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
@@ -95,7 +100,7 @@ class ResultStore:
             or "data" not in entry
         ):
             return None
-        return entry["data"]
+        return entry
 
     def put(self, key: str, data: dict, meta: dict | None = None) -> None:
         """Atomically persist one shard result."""
@@ -120,9 +125,48 @@ class ResultStore:
         return self.get(key) is not None
 
     def keys(self) -> list[str]:
+        """Keys of every *valid* entry, sorted.
+
+        An on-disk ``*.json`` file only counts when :meth:`get` would
+        serve it: it parses, carries its own key, matches its filename
+        and bucket directory, and has a data payload.  Corrupt or
+        foreign files therefore no longer inflate ``--shard-status``
+        style occupancy reports; :meth:`prune` deletes them.
+        """
+        return sorted(key for key, _path in self._valid_entries())
+
+    def _valid_entries(self) -> list[tuple[str, Path]]:
         if not self.root.is_dir():
             return []
-        return sorted(p.stem for p in self.root.glob("??/*.json"))
+        out = []
+        for path in self.root.glob("??/*.json"):
+            key = path.stem
+            if path == self.path_for(key) and self._load_entry(path, key):
+                out.append((key, path))
+        return out
+
+    def prune(self) -> list[Path]:
+        """Delete files :meth:`get` would reject; returns what was removed.
+
+        Covers corrupt/truncated entries, foreign ``*.json`` files
+        (wrong name or misfiled bucket), and stale ``*.tmp`` files left
+        behind by interrupted atomic writes.  Valid entries are
+        untouched, so a prune never costs recomputation.
+        """
+        if not self.root.is_dir():
+            return []
+        removed: list[Path] = []
+        for path in self.root.glob("??/*.json"):
+            key = path.stem
+            if path != self.path_for(key) or self._load_entry(path, key) is None:
+                removed.append(path)
+        removed.extend(self.root.glob("??/.*.tmp"))
+        for path in removed:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        return sorted(removed)
 
     def __len__(self) -> int:
         return len(self.keys())

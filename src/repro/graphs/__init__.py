@@ -21,7 +21,11 @@ from repro.graphs.families import (
     two_node_graph,
 )
 from repro.graphs.port_graph import Edge, PortLabeledGraph
-from repro.graphs.random_graphs import random_connected_graph, random_tree
+from repro.graphs.random_graphs import (
+    random_connected_graph,
+    random_regular_graph,
+    random_tree,
+)
 
 __all__ = [
     "PortLabeledGraph",
@@ -42,6 +46,7 @@ __all__ = [
     "complete_graph",
     "star_graph",
     "random_connected_graph",
+    "random_regular_graph",
     "random_tree",
     "cayley_abelian",
     "cayley_node",

@@ -11,7 +11,12 @@ from __future__ import annotations
 from repro.graphs.port_graph import Edge, PortLabeledGraph
 from repro.util.lcg import SplitMix64, derive_seed
 
-__all__ = ["random_connected_graph", "random_tree", "random_port_permutation"]
+__all__ = [
+    "random_connected_graph",
+    "random_regular_graph",
+    "random_tree",
+    "random_port_permutation",
+]
 
 
 def random_tree(n: int, seed: int) -> PortLabeledGraph:
@@ -32,7 +37,14 @@ def random_connected_graph(n: int, extra_edges: int, seed: int) -> PortLabeledGr
     """Random connected graph: random recursive tree + extra random edges.
 
     ``extra_edges`` additional distinct non-tree edges are sampled
-    uniformly (skipping duplicates); ports are randomly permuted.
+    uniformly (skipping duplicates); ports are randomly permuted.  The
+    returned graph always has exactly ``(n - 1) + min(extra_edges,
+    max_extra)`` edges: the rejection loop below handles sparse inputs
+    (and replays the seeded stream older callers pinned), and when its
+    attempt budget runs out on dense inputs — where almost every draw
+    collides with an existing edge — the remaining edges are drawn
+    uniformly without replacement from the explicit complement set
+    instead of being silently dropped.
     """
     if n < 1:
         raise ValueError("need n >= 1")
@@ -54,7 +66,70 @@ def random_connected_graph(n: int, extra_edges: int, seed: int) -> PortLabeledGr
         present.add(key)
         pairs.append(key)
         budget -= 1
+    if budget > 0:
+        complement = [
+            (a, b)
+            for a in range(n)
+            for b in range(a + 1, n)
+            if (a, b) not in present
+        ]
+        for _ in range(budget):
+            key = complement.pop(rng.randrange(len(complement)))
+            present.add(key)
+            pairs.append(key)
     return _with_random_ports(n, pairs, rng)
+
+
+def random_regular_graph(n: int, degree: int, seed: int) -> PortLabeledGraph:
+    """Random connected ``degree``-regular graph with random port labels.
+
+    Uses the pairing (configuration) model: ``degree`` stubs per node
+    are shuffled and matched; matchings with self-loops, parallel edges,
+    or a disconnected result are rejected and redrawn from the same
+    seeded stream, so the construction is a deterministic function of
+    ``(n, degree, seed)``.  Requires ``1 <= degree < n`` and an even
+    ``n * degree``.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if not 1 <= degree < n:
+        raise ValueError(f"need 1 <= degree < n, got degree={degree}, n={n}")
+    if (n * degree) % 2:
+        raise ValueError(f"n * degree must be even, got n={n}, degree={degree}")
+    rng = SplitMix64(derive_seed("random_regular", n, degree, seed))
+    stubs = [v for v in range(n) for _ in range(degree)]
+    for _ in range(1000):
+        # Fisher-Yates over the stub list, then match consecutive stubs.
+        for i in range(len(stubs) - 1, 0, -1):
+            j = rng.randrange(i + 1)
+            stubs[i], stubs[j] = stubs[j], stubs[i]
+        pairs = [
+            (min(a, b), max(a, b))
+            for a, b in zip(stubs[::2], stubs[1::2])
+        ]
+        if any(a == b for a, b in pairs) or len(set(pairs)) < len(pairs):
+            continue
+        if _connected(n, pairs):
+            return _with_random_ports(n, pairs, rng)
+    raise ValueError(
+        f"no simple connected {degree}-regular matching found for n={n} "
+        f"(seed {seed}); the parameter combination is too constrained"
+    )
+
+
+def _connected(n: int, pairs: list[tuple[int, int]]) -> bool:
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for a, b in pairs:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        for w in adjacency[stack.pop()]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == n
 
 
 def random_port_permutation(degree: int, rng: SplitMix64) -> list[int]:

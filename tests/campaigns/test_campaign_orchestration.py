@@ -1,0 +1,120 @@
+"""Campaigns through the real orchestrator: sharding, caching, and the
+acceptance envelope (family/check-kind coverage, warm-cache identity,
+parallel identity)."""
+
+import pytest
+
+from repro.campaigns.checks import CHECKS
+from repro.campaigns.driver import make_shards
+from repro.campaigns.registry import CAMPAIGNS, get_campaign, make_campaign
+from repro.experiments.orchestrator import run_experiment, run_suite, shard_status
+from repro.experiments.scenarios import GRAPH_FAMILIES
+from repro.experiments.store import ResultStore
+
+#: A miniature campaign for orchestration tests: real grid mechanics,
+#: seconds-scale runtime.
+MINI = make_campaign(
+    "mini",
+    title="orchestration-test campaign",
+    tiers={
+        "smoke": {
+            "families": [
+                {"family": "oriented_ring", "rungs": [{"n": 5}]},
+                {"family": "random_tree", "rungs": [{"n": 6}]},
+            ],
+            "checks": [
+                "differential/symmetry-kernel",
+                "metamorphic/node-relabel",
+                "statistical/meeting-time",
+            ],
+            "seeds_per_cell": 1,
+            "knobs": {"max_pairs": 3},
+        }
+    },
+)
+
+
+class TestRegistry:
+    def test_builtin_campaigns_resolve(self):
+        for name in CAMPAIGNS:
+            spec = get_campaign(name)
+            assert spec.exp_id == f"CAMPAIGN/{name}"
+            assert spec.module == "repro.campaigns.driver"
+        assert get_campaign("CAMPAIGN/core") is CAMPAIGNS["core"]
+
+    def test_unknown_campaign(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            get_campaign("nope")
+
+    def test_smoke_grid_meets_acceptance_envelope(self):
+        """The smoke tier must span >= 6 graph families (including
+        random and Cayley constructions) and >= 3 check kinds."""
+        spec = CAMPAIGNS["core"]
+        params = spec.tiers["smoke"]
+        families = {fam["family"] for fam in params["families"]}
+        assert len(families) >= 6
+        assert {"random_tree", "random_connected", "random_regular"} <= families
+        assert families & {"cayley_abelian", "circulant"}
+        kinds = {CHECKS[c].kind for c in params["checks"]}
+        assert kinds >= {"differential", "metamorphic", "statistical"}
+
+    def test_all_grid_families_are_registered(self):
+        for spec in CAMPAIGNS.values():
+            for params in spec.tiers.values():
+                for fam in params["families"]:
+                    assert fam["family"] in GRAPH_FAMILIES
+
+
+class TestOrchestration:
+    def test_off_registry_spec_runs_and_caches(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        cold = run_experiment(MINI, tier="smoke", store=store)
+        assert cold.record.passed is True
+        assert cold.shards_computed == len(cold.shards) == 6
+        warm = run_experiment(MINI, tier="smoke", store=store)
+        assert warm.shards_computed == 0  # pure cache hit
+        assert warm.record == cold.record
+
+    def test_parallel_run_is_bit_identical(self, tmp_path):
+        serial = run_experiment(MINI, tier="smoke")
+        parallel = run_experiment(MINI, tier="smoke", jobs=2)
+        assert parallel.record == serial.record
+
+    def test_mixed_selection_with_registry_ids(self, tmp_path):
+        runs = run_suite(["FIG1", MINI], tier="smoke")
+        assert [run.config.exp_id for run in runs] == ["FIG1", "CAMPAIGN/mini"]
+        assert all(run.record.passed for run in runs)
+
+    def test_shard_results_exposed_on_outcomes(self):
+        run = run_experiment(MINI, tier="smoke")
+        for outcome in run.shards:
+            assert outcome.result is not None
+            assert outcome.result["ok"] is True
+            assert outcome.result["failures"] == []
+
+    def test_shard_status_accepts_specs(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        rows = shard_status([MINI], tier="smoke", seed=None, store=store)
+        assert rows == [("CAMPAIGN/mini", 0, 6)]
+        run_experiment(MINI, tier="smoke", store=store)
+        rows = shard_status([MINI], tier="smoke", seed=None, store=store)
+        assert rows == [("CAMPAIGN/mini", 6, 6)]
+
+    def test_seed_override_invalidates_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        run_experiment(MINI, tier="smoke", store=store)
+        reseeded = run_experiment(MINI, tier="smoke", seed=99, store=store)
+        assert reseeded.shards_computed == len(reseeded.shards)
+
+
+@pytest.mark.slow
+class TestFullSmokeTier:
+    def test_core_smoke_campaign_is_clean(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = CAMPAIGNS["core"]
+        cold = run_experiment(spec, tier="smoke", jobs=2, store=store)
+        assert cold.record.passed, cold.record.measured_summary
+        assert len(cold.shards) == len(make_shards(spec.config("smoke")))
+        warm = run_experiment(spec, tier="smoke", jobs=2, store=store)
+        assert warm.shards_computed == 0
+        assert warm.record == cold.record

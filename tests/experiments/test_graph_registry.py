@@ -1,0 +1,75 @@
+"""GRAPH_FAMILIES: the single declarative graph registry.
+
+Scenario specs and the campaign layer both build graphs through this
+table, so its error surface (near-miss suggestions, required-kwarg
+catalogs) and its metadata (which families are seeded distributions)
+are contract, not convenience.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import GRAPH_FAMILIES, GraphFamily, build_graph
+
+
+class TestRegistry:
+    def test_every_entry_is_well_formed(self):
+        for name, entry in GRAPH_FAMILIES.items():
+            assert isinstance(entry, GraphFamily)
+            assert entry.name == name
+            assert callable(entry.build)
+
+    def test_random_and_cayley_families_registered(self):
+        assert {
+            "random_tree",
+            "random_connected",
+            "random_regular",
+            "cayley_abelian",
+            "circulant",
+        } <= set(GRAPH_FAMILIES)
+
+    def test_seeded_flag_tracks_seed_param(self):
+        assert GRAPH_FAMILIES["random_tree"].seeded
+        assert GRAPH_FAMILIES["random_regular"].seeded
+        assert not GRAPH_FAMILIES["oriented_ring"].seeded
+        assert not GRAPH_FAMILIES["cayley_abelian"].seeded
+
+    def test_builders_produce_expected_graphs(self):
+        ring = build_graph({"family": "circulant", "n": 7, "steps": [1]})
+        assert ring.n == 7 and all(ring.degree(v) == 2 for v in range(7))
+        torus = build_graph(
+            {
+                "family": "cayley_abelian",
+                "moduli": [3, 3],
+                "generators": [[1, 0], [0, 1]],
+            }
+        )
+        assert torus.n == 9 and all(torus.degree(v) == 4 for v in range(9))
+        regular = build_graph(
+            {"family": "random_regular", "n": 8, "degree": 3, "seed": 2}
+        )
+        assert all(regular.degree(v) == 3 for v in range(8))
+
+
+class TestErrors:
+    def test_unknown_family_lists_catalog(self):
+        with pytest.raises(KeyError) as excinfo:
+            build_graph({"family": "klein_bottle", "n": 4})
+        message = str(excinfo.value)
+        assert "unknown graph family 'klein_bottle'" in message
+        assert "oriented_torus(rows, cols)" in message  # kwargs catalog
+
+    def test_near_miss_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'oriented_ring'"):
+            build_graph({"family": "oriented_rign", "n": 5})
+
+    def test_missing_family_key(self):
+        with pytest.raises(KeyError, match="missing the 'family' key"):
+            build_graph({"n": 5})
+
+    def test_missing_kwargs_rejected(self):
+        with pytest.raises(TypeError, match=r"missing: \['cols'\]"):
+            build_graph({"family": "oriented_torus", "rows": 3})
+
+    def test_unexpected_kwargs_rejected(self):
+        with pytest.raises(TypeError, match=r"unexpected: \['m'\]"):
+            build_graph({"family": "oriented_ring", "n": 5, "m": 2})

@@ -1,0 +1,89 @@
+"""ResultStore validation: keys()/len must agree with get(), prune()
+must delete exactly what get() would reject.
+
+Regression context: keys() used to count every ``??/*.json`` file —
+corrupt entries, foreign files, misfiled buckets — so occupancy
+reports (``--shard-status`` totals) overstated the cache.  Now an
+entry only counts when a get() would actually serve it.
+"""
+
+import json
+
+from repro.experiments.scenarios import RunConfig
+from repro.experiments.store import ResultStore, shard_key
+
+
+def _populate(store: ResultStore, count: int) -> tuple[list[str], dict]:
+    config = RunConfig(exp_id="X", tier="smoke", seed=0, params={})
+    payloads = {}
+    for i in range(count):
+        key = shard_key(config, {"cell": i}, 1)
+        store.put(key, {"value": i})
+        payloads[key] = {"value": i}
+    return sorted(payloads), payloads
+
+
+class TestKeysValidation:
+    def test_valid_entries_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        keys, _ = _populate(store, 4)
+        assert store.keys() == keys
+        assert len(store) == 4
+
+    def test_missing_root_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "nope")
+        assert store.keys() == [] and len(store) == 0
+
+    def test_corrupt_entries_do_not_count(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        keys, _ = _populate(store, 3)
+        # Truncated JSON in place of a valid entry.
+        store.path_for(keys[0]).write_text("{not json")
+        # Valid JSON, wrong shape.
+        store.path_for(keys[1]).write_text("[]")
+        assert store.keys() == keys[2:]
+        assert len(store) == 1
+
+    def test_foreign_files_do_not_count(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        keys, _ = _populate(store, 2)
+        bucket = store.path_for(keys[0]).parent
+        # A foreign JSON file whose name is no entry key.
+        (bucket / "README.json").write_text(json.dumps({"hi": 1}))
+        # An entry copied into the wrong bucket directory.
+        wrong = store.root / ("zz" if keys[0][:2] != "zz" else "yy")
+        wrong.mkdir()
+        (wrong / f"{keys[0]}.json").write_text(
+            store.path_for(keys[0]).read_text()
+        )
+        # An entry whose payload claims a different key than its name.
+        entry = json.loads(store.path_for(keys[0]).read_text())
+        entry["key"] = "0" * 64
+        (bucket / ("f" * 64 + ".json")).write_text(json.dumps(entry))
+        assert store.keys() == keys
+        assert len(store) == 2
+
+
+class TestPrune:
+    def test_prune_deletes_only_invalid(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        keys, payloads = _populate(store, 3)
+        store.path_for(keys[0]).write_text("garbage")
+        bucket = store.path_for(keys[1]).parent
+        (bucket / "foreign.json").write_text("{}")
+        (bucket / ".deadbeef-leftover.tmp").write_text("partial write")
+        removed = store.prune()
+        assert len(removed) == 3
+        assert store.keys() == keys[1:]
+        assert store.get(keys[1]) == payloads[keys[1]]
+        assert store.get(keys[2]) == payloads[keys[2]]
+        assert not (bucket / ".deadbeef-leftover.tmp").exists()
+
+    def test_prune_is_idempotent_and_cheap_on_valid_store(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        keys, _ = _populate(store, 4)
+        assert store.prune() == []
+        assert store.keys() == keys
+
+    def test_prune_missing_root(self, tmp_path):
+        assert ResultStore(tmp_path / "nope").prune() == []

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.graphs import random_connected_graph, random_tree
+from repro.graphs import (
+    random_connected_graph,
+    random_regular_graph,
+    random_tree,
+)
 from repro.graphs.enumeration import (
     connected_edge_sets,
     count_port_labeled_graphs,
@@ -40,6 +44,73 @@ class TestRandomGraphs:
         rng = SplitMix64(9)
         for d in (1, 2, 5, 9):
             assert sorted(random_port_permutation(d, rng)) == list(range(d))
+
+    def test_dense_inputs_get_exact_edge_counts(self):
+        """Regression: the rejection loop used to give up silently on
+        dense inputs (n=30 near-complete came back 14 edges short);
+        the complement fallback must deliver the exact budget."""
+        for n, extra, seed in [
+            (30, 500, 0),
+            (30, 500, 1),
+            (20, 200, 3),
+            (12, 100, 7),
+            (10, 36, 2),
+        ]:
+            g = random_connected_graph(n, extra, seed)
+            expected = (n - 1) + min(extra, n * (n - 1) // 2 - (n - 1))
+            assert len(g.edges) == expected, (n, extra, seed)
+
+    def test_dense_inputs_stay_deterministic(self):
+        a = random_connected_graph(30, 500, seed=5)
+        assert a == random_connected_graph(30, 500, seed=5)
+        assert a != random_connected_graph(30, 500, seed=6)
+
+    def test_sparse_stream_is_pinned(self):
+        """The seeded stream of the original rejection-only sampler is
+        frozen for sparse inputs: differential suites and replay
+        artifacts reference these graphs by (n, extra, seed) alone."""
+        assert random_connected_graph(8, 4, seed=1).edges == (
+            (0, 3, 1, 0),
+            (1, 1, 2, 0),
+            (0, 2, 3, 0),
+            (1, 3, 4, 0),
+            (3, 1, 5, 0),
+            (4, 1, 6, 2),
+            (0, 1, 7, 0),
+            (2, 1, 6, 3),
+            (0, 0, 5, 2),
+            (5, 1, 6, 1),
+            (1, 2, 6, 0),
+        )
+
+
+class TestRandomRegular:
+    def test_degrees_and_size(self):
+        for n, d, seed in [(6, 3, 0), (8, 3, 5), (10, 4, 2), (5, 2, 7), (9, 2, 3)]:
+            g = random_regular_graph(n, d, seed)
+            assert g.n == n
+            assert all(g.degree(v) == d for v in range(n))
+            assert len(g.edges) == n * d // 2
+
+    def test_deterministic_by_seed(self):
+        assert random_regular_graph(8, 3, seed=4) == random_regular_graph(8, 3, seed=4)
+        assert random_regular_graph(8, 3, seed=4) != random_regular_graph(8, 3, seed=5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3, seed=0)  # odd stub count
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4, seed=0)  # degree >= n
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 0, seed=0)  # degree < 1
+        with pytest.raises(ValueError):
+            random_regular_graph(1, 1, seed=0)  # n < 2
+
+    def test_validates_simple_and_connected(self):
+        # PortLabeledGraph construction validates ports/connectivity;
+        # many seeds exercising the retry-until-simple-connected loop.
+        for seed in range(12):
+            random_regular_graph(8, 3, seed=seed)
 
 
 class TestEnumeration:
