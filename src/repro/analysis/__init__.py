@@ -1,0 +1,45 @@
+"""Static determinism & dtype-safety lint engine (``repro lint``).
+
+This package turns the repo's hard-won runtime lessons — the PR 1
+``simulate_word_batch`` view-aliasing bug, the PR 3 uint8 BFS
+accumulator overflow, the PR 4–5 non-canonical / corrupt cache entries
+— into *statically enforced* invariants.  A small AST rules engine
+(stdlib :mod:`ast` only, no third-party dependencies) walks source
+files, runs every registered rule, and reports findings in human or
+canonical-JSON form; CI gates on a clean run over ``src/``.
+
+Layout
+------
+:mod:`repro.analysis.findings`
+    The :class:`Finding` record, stable fingerprints, rendering.
+:mod:`repro.analysis.registry`
+    The :class:`Rule` record and the ``@register_rule`` decorator.
+:mod:`repro.analysis.engine`
+    File walking, suppression comments, baselines, report assembly.
+:mod:`repro.analysis.rules`
+    The rule catalog (one module per rule); importing it populates
+    the registry.
+:mod:`repro.analysis.cli`
+    ``repro lint`` argument parsing and output.
+
+See docs/static_analysis.md for the rule catalog, the suppression /
+baseline policy, and a guide to writing new rules.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import LintReport, lint_paths
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, register_rule
+
+# Importing the catalog registers every shipped rule.
+import repro.analysis.rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register_rule",
+]

@@ -1,0 +1,151 @@
+"""Shared AST helpers for lint rules.
+
+Rules need three recurring capabilities: resolving what a call *means*
+through import aliases (``np.random.randint`` -> ``numpy.random.randint``),
+flattening attribute chains into dotted names, and reasoning about how
+a call site binds a callee's parameters.  Everything here is pure and
+stdlib-only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "call_binds_param",
+    "dotted_name",
+    "import_aliases",
+    "imported_module_names",
+    "module_functions",
+    "resolve_call",
+    "slice_in_subscript",
+    "walk_functions",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the fully-qualified names they import.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from os import environ`` yields ``{"environ": "os.environ"}``.
+    Relative imports keep their module part (``from .x import y`` ->
+    ``{"y": "x.y"}``) — close enough for dotted-prefix matching.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten ``a.b.c`` chains; None for non-name expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Fully-qualified dotted name of an expression, through aliases.
+
+    ``np.random.randint`` with ``{"np": "numpy"}`` resolves to
+    ``"numpy.random.randint"``; an unaliased root passes through
+    unchanged; lambdas/subscripts resolve to None.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    root, _, rest = dotted.partition(".")
+    expanded = aliases.get(root, root)
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+def imported_module_names(tree: ast.Module) -> set[str]:
+    """Local names that are bound to *modules* by plain imports."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                names.add(item.asname or item.name.split(".")[0])
+    return names
+
+
+def walk_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function/method definition in the module, any nesting."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def module_functions(tree: ast.Module) -> dict[str, FunctionNode]:
+    """Top-level function definitions by name (callable as ``name(...)``)."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _positional_params(func: FunctionNode) -> list[str]:
+    return [a.arg for a in (*func.args.posonlyargs, *func.args.args)]
+
+
+def parameter_names(func: FunctionNode) -> set[str]:
+    """All explicit parameter names (positional, kw-only)."""
+    return {
+        a.arg
+        for a in (*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs)
+    }
+
+
+def call_binds_param(call: ast.Call, func: FunctionNode, param: str) -> bool:
+    """Does this call site bind ``param`` of the resolved callee?
+
+    Counts positional arguments against the callee's positional
+    parameter list, accepts an explicit keyword, and gives the benefit
+    of the doubt to ``*args`` / ``**kwargs`` forwarding.
+    """
+    if any(kw.arg is None for kw in call.keywords):  # **kwargs forwarding
+        return True
+    if any(kw.arg == param for kw in call.keywords):
+        return True
+    positional = _positional_params(func)
+    if param not in positional:
+        return False
+    index = positional.index(param)
+    if any(isinstance(a, ast.Starred) for a in call.args):  # *args forwarding
+        return True
+    n_positional = len(call.args)
+    if positional and positional[0] == "self":
+        # Bound-method calls never pass self explicitly; shift by one.
+        index -= 1
+    return n_positional > index
+
+
+def slice_in_subscript(node: ast.Subscript) -> bool:
+    """True when a subscript contains a slice (``x[:k]``, ``x[a:b, j]``).
+
+    Slices of ndarrays are *views*; integer and fancy indexing are not.
+    """
+    sl = node.slice
+    if isinstance(sl, ast.Slice):
+        return True
+    if isinstance(sl, ast.Tuple):
+        return any(isinstance(elt, ast.Slice) for elt in sl.elts)
+    return False

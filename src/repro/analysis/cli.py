@@ -1,0 +1,140 @@
+"""``repro lint`` — run the determinism/dtype-safety rules engine.
+
+Usage::
+
+    repro lint [PATH ...] [--format {text,json}] [--output FILE]
+               [--select IDS] [--ignore IDS]
+               [--baseline FILE] [--write-baseline FILE]
+               [--list-rules]
+
+Default path is ``src``.  Exit status: 0 clean, 1 when any gating
+finding exists (new findings and suppression-hygiene violations both
+gate; inline-suppressed-with-reason and baselined findings do not),
+2 on usage errors.  ``--format json`` emits the canonical report CI
+uploads as an artifact.  See docs/static_analysis.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.engine import (
+    LintReport,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.registry import all_rules
+
+__all__ = ["main"]
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def _print_rules() -> None:
+    print(f"{'id':<10} {'name':<18} summary")
+    for rule in all_rules().values():
+        print(f"{rule.rule_id:<10} {rule.name:<18} {rule.summary}")
+        print(f"{'':<10} {'':<18} why: {rule.rationale}")
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    if report.suppressed:
+        lines.append(f"# {len(report.suppressed)} suppressed (with reason):")
+        lines.extend(f"#   {f.render()}" for f in report.suppressed)
+    if report.baselined:
+        lines.append(f"# {len(report.baselined)} baselined (pre-existing):")
+        lines.extend(f"#   {f.render()}" for f in report.baselined)
+    lines.append(
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined "
+        f"in {report.files} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro lint", description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/dirs to lint (default src)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the report to FILE (same format)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS", help="comma-separated rule ids to run"
+    )
+    parser.add_argument(
+        "--ignore", metavar="IDS", help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file: listed fingerprints do not gate",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write current findings as the accepted baseline, then exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    baseline: set[str] | None = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report, line_text = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+            baseline=baseline,
+        )
+    except (FileNotFoundError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(message, file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report, line_text)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        rendered = json.dumps(
+            report.to_json_dict(line_text=line_text), sort_keys=True, indent=2
+        )
+    else:
+        rendered = _render_text(report)
+    print(rendered)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

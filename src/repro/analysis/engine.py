@@ -1,0 +1,324 @@
+"""Lint engine: file walking, suppressions, baselines, reports.
+
+The engine is report-only by design (no ``--fix``): every finding is
+either fixed at the source, suppressed inline *with a reason*, or
+carried in a baseline file during gradual adoption.  All three states
+are visible in the report, so CI can gate on "no new findings and no
+undocumented suppressions".
+
+Suppression syntax (one source line)::
+
+    risky_call()  # repro-lint: disable=REPRO104 -- md report, order is cosmetic
+    risky_call()  # repro-lint: disable -- reason applies to every rule
+
+A suppression without a ``-- reason`` tail, or one that matches no
+finding, is itself reported under ``REPRO100`` — suppressions can rot,
+and rot must gate exactly like any other violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, fingerprint
+from repro.analysis.registry import Module, Rule, all_rules
+
+__all__ = [
+    "LintReport",
+    "collect_files",
+    "lint_paths",
+    "load_baseline",
+    "parse_module",
+    "write_baseline",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable"
+    r"(?:=(?P<rules>[A-Za-z0-9_,\s]+?))?"
+    r"(?:\s*--\s*(?P<reason>\S.*))?\s*$"
+)
+
+#: Engine rule ids (not suppressible, always on).
+PARSE_ERROR = "REPRO000"
+SUPPRESSION_HYGIENE = "REPRO100"
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    line: int
+    rules: frozenset[str] | None  # None = all rules
+    reason: str | None
+
+    def covers(self, rule_id: str) -> bool:
+        return self.rules is None or rule_id in self.rules
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 when any gating finding exists."""
+        return 1 if self.findings else 0
+
+    def to_json_dict(self, *, line_text: dict[Finding, str]) -> dict[str, object]:
+        """Canonical machine-readable form (the CI artifact)."""
+
+        def rows(findings: Iterable[Finding]) -> list[dict[str, object]]:
+            return [
+                {
+                    "rule": f.rule_id,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "fingerprint": fingerprint(f, line_text.get(f, "")),
+                }
+                for f in sorted(findings)
+            ]
+
+        return {
+            "version": 1,
+            "files": self.files,
+            "findings": rows(self.findings),
+            "suppressed": rows(self.suppressed),
+            "baselined": rows(self.baselined),
+            "summary": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+            },
+        }
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    Hidden directories and ``__pycache__`` are skipped.  A named path
+    that does not exist raises ``FileNotFoundError`` — a typo'd CI
+    invocation must fail loudly, not lint nothing and pass.
+    """
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            out.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in sub.parts
+                ):
+                    continue
+                out.add(sub)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def _relative_path(path: Path) -> str:
+    """Repo-relative posix path when possible (stable fingerprints)."""
+    resolved = path.resolve()
+    for base in (Path.cwd(), *Path.cwd().parents):
+        try:
+            return resolved.relative_to(base).as_posix()
+        except ValueError:
+            continue
+    return resolved.as_posix()
+
+
+def parse_module(path: Path) -> Module | Finding:
+    """Parse one file; a syntax error becomes a ``REPRO000`` finding."""
+    rel = _relative_path(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule_id=PARSE_ERROR,
+            message=f"syntax error: {exc.msg}",
+        )
+    return Module(
+        path=path,
+        rel=rel,
+        source=source,
+        lines=tuple(source.splitlines()),
+        tree=tree,
+    )
+
+
+def _comment_lines(module: Module) -> dict[int, str]:
+    """Real ``#`` comments by line, via tokenize (strings don't count)."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except tokenize.TokenizeError:  # pragma: no cover - parse already passed
+        pass
+    return comments
+
+
+def _suppressions(module: Module) -> list[_Suppression]:
+    out: list[_Suppression] = []
+    for lineno, text in sorted(_comment_lines(module).items()):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules_raw = match.group("rules")
+        rules = (
+            None
+            if rules_raw is None
+            else frozenset(
+                r.strip().upper() for r in rules_raw.split(",") if r.strip()
+            )
+        )
+        out.append(
+            _Suppression(line=lineno, rules=rules, reason=match.group("reason"))
+        )
+    return out
+
+
+def _select_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> list[Rule]:
+    rules = all_rules()
+    if select:
+        unknown = sorted(set(select) - rules.keys())
+        if unknown:
+            raise KeyError(f"unknown rule id(s) in --select: {unknown}")
+        chosen = [rules[rid] for rid in sorted(set(select))]
+    else:
+        chosen = list(rules.values())
+    if ignore:
+        unknown = sorted(set(ignore) - rules.keys())
+        if unknown:
+            raise KeyError(f"unknown rule id(s) in --ignore: {unknown}")
+        chosen = [r for r in chosen if r.rule_id not in set(ignore)]
+    return chosen
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    baseline: set[str] | None = None,
+) -> tuple[LintReport, dict[Finding, str]]:
+    """Lint files/dirs; returns the report and each finding's source line.
+
+    The line-text map feeds fingerprinting (baselines, JSON output)
+    without re-reading files.
+    """
+    rules = _select_rules(select, ignore)
+    report = LintReport()
+    line_text: dict[Finding, str] = {}
+    for path in collect_files(paths):
+        report.files += 1
+        parsed = parse_module(path)
+        if isinstance(parsed, Finding):
+            report.findings.append(parsed)
+            line_text[parsed] = ""
+            continue
+        module = parsed
+        raw: list[Finding] = []
+        for rule in rules:
+            raw.extend(rule.check(module))
+        # Nested functions are visited by both their own walk and their
+        # enclosing function's; identical findings collapse to one.
+        raw = list(dict.fromkeys(raw))
+        suppressions = _suppressions(module)
+        used: set[int] = set()
+        for finding in raw:
+            line_text[finding] = module.line_text(finding.line)
+            covering = next(
+                (
+                    s
+                    for s in suppressions
+                    if s.line == finding.line and s.covers(finding.rule_id)
+                ),
+                None,
+            )
+            if covering is not None:
+                used.add(covering.line)
+                report.suppressed.append(finding)
+            elif baseline and fingerprint(
+                finding, line_text[finding]
+            ) in baseline:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        for sup in suppressions:
+            problems = []
+            if sup.reason is None:
+                problems.append("missing a '-- reason' tail")
+            if sup.line not in used:
+                problems.append("matches no finding on this line")
+            if problems:
+                hygiene = Finding(
+                    path=module.rel,
+                    line=sup.line,
+                    col=1,
+                    rule_id=SUPPRESSION_HYGIENE,
+                    message=f"undocumented suppression: {'; '.join(problems)}",
+                )
+                report.findings.append(hygiene)
+                line_text[hygiene] = module.line_text(sup.line)
+    report.findings.sort()
+    report.suppressed.sort()
+    report.baselined.sort()
+    return report, line_text
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file (set of finding fingerprints)."""
+    payload = json.loads(Path(path).read_text())
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != 1
+        or not isinstance(payload.get("fingerprints"), list)
+    ):
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    return {str(fp) for fp in payload["fingerprints"]}
+
+
+def write_baseline(
+    path: str | Path,
+    report: LintReport,
+    line_text: dict[Finding, str],
+) -> int:
+    """Persist the current findings as the accepted baseline.
+
+    Returns the number of fingerprints written.  The file is canonical
+    JSON (sorted keys, sorted fingerprints) so it diffs cleanly.
+    """
+    fingerprints = sorted(
+        {
+            fingerprint(f, line_text.get(f, ""))
+            for f in (*report.findings, *report.baselined)
+        }
+    )
+    body = json.dumps(
+        {"version": 1, "fingerprints": fingerprints},
+        sort_keys=True,
+        indent=2,
+    )
+    Path(path).write_text(body + "\n")
+    return len(fingerprints)

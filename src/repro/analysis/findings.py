@@ -1,0 +1,39 @@
+"""Finding records, stable fingerprints, and rendering helpers."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is ``(path, line, col, rule_id)`` so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable identity of a finding for baseline files.
+
+    Hashes the rule, the file, and the *stripped source line* rather
+    than the line number, so reformatting elsewhere in the file does
+    not churn the baseline.  Collisions (the same violation repeated
+    verbatim in one file) intentionally share a fingerprint: baselining
+    one baselines all, which errs toward under-suppression never being
+    silent.
+    """
+    payload = f"{finding.rule_id}|{finding.path}|{line_text.strip()}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]

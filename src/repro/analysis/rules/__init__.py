@@ -1,0 +1,27 @@
+"""The shipped rule catalog.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`.  One module per rule; each module's
+docstring names the historical bug or determinism-contract clause the
+rule encodes (mirrored in docs/static_analysis.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (imports register rules)
+    canonical_json,
+    dtype_overflow,
+    nondeterminism,
+    rng_discipline,
+    shard_purity,
+    view_aliasing,
+)
+
+__all__ = [
+    "canonical_json",
+    "dtype_overflow",
+    "nondeterminism",
+    "rng_discipline",
+    "shard_purity",
+    "view_aliasing",
+]

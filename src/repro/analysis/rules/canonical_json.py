@@ -1,0 +1,65 @@
+"""REPRO104 — canonical JSON: every dump must sort its keys.
+
+Encodes the PR 4–5 lesson: the content-addressed store, the campaign
+replay artifacts, and the golden experiment fixtures all rely on JSON
+serialization being *canonical* — the cache key is the SHA-256 of the
+encoded text, and warm-vs-cold byte-identity is asserted in CI.  A
+single ``json.dump(s)`` without ``sort_keys=True`` makes the encoding
+depend on dict insertion order, which is exactly the class of
+"works today, corrupts the cache after a refactor" bug ``prune()``
+had to be taught to clean up.  Prefer routing through
+:func:`repro.experiments.store.canonical_json`; where a raw dump is
+needed (pretty-printed reports included), it must pass a literal
+``sort_keys=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, register_rule
+
+RULE_ID = "REPRO104"
+
+
+@register_rule(
+    RULE_ID,
+    "canonical-json",
+    "every json.dump/json.dumps call must pass a literal sort_keys=True",
+    "PRs 4-5: cache keys are SHA-256 of the encoded JSON and CI asserts "
+    "cold==warm byte-identity; insertion-ordered dumps break both "
+    "(see repro.experiments.store.canonical_json)",
+)
+def check(module: Module) -> Iterator[Finding]:
+    aliases = astutil.import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = astutil.resolve_call(node.func, aliases)
+        if resolved not in ("json.dump", "json.dumps"):
+            continue
+        if any(kw.arg is None for kw in node.keywords):
+            continue  # **kwargs forwarding: give the benefit of the doubt
+        sort_keys = next(
+            (kw.value for kw in node.keywords if kw.arg == "sort_keys"), None
+        )
+        if (
+            isinstance(sort_keys, ast.Constant)
+            and sort_keys.value is True
+        ):
+            continue
+        problem = (
+            "must pass sort_keys=True"
+            if sort_keys is None
+            else "sort_keys must be the literal True"
+        )
+        yield module.finding(
+            RULE_ID,
+            node,
+            f"{resolved}() {problem}: serialized output feeds "
+            "content-addressed keys and byte-identity checks "
+            "(canonical-JSON contract)",
+        )

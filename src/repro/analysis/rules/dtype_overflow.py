@@ -1,0 +1,153 @@
+"""REPRO102 — dtype-overflow hazard: no accumulation into small ints.
+
+Encodes the PR 3 bug: the BFS distance kernel in
+``repro.symmetry.context`` briefly used a ``uint8`` frontier matrix as
+a matmul accumulator — path counts wrapped mod 256 on graphs with
+enough 4-cycles and distances came out *shorter* than real, corrupting
+Shrink values only at sizes the unit tests never reached.  The fixed
+code carries an explicit "int64 accumulators" comment; this rule makes
+the lesson mechanical: an integer array narrower than int32 must never
+be the target of in-place accumulation (``+=``/``-=``/``*=``/``@=``),
+a matmul feedback assignment (``x = x @ a``), or an ``out=`` keyword.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, register_rule
+
+RULE_ID = "REPRO102"
+
+_SMALL_INT_DTYPES = frozenset({"int8", "uint8", "int16", "uint16"})
+
+_ACCUMULATING_OPS = (ast.Add, ast.Sub, ast.Mult, ast.MatMult, ast.LShift, ast.Pow)
+
+
+def _small_dtype_label(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """'uint8' etc. when the expression denotes a sub-int32 int dtype."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+        return name if name in _SMALL_INT_DTYPES else None
+    resolved = astutil.resolve_call(node, aliases)
+    if resolved is None:
+        return None
+    parts = resolved.split(".")
+    if parts[0] == "numpy" and parts[-1] in _SMALL_INT_DTYPES:
+        return parts[-1]
+    return None
+
+
+def _tracked_arrays(
+    func: astutil.FunctionNode, aliases: dict[str, str]
+) -> dict[str, str]:
+    """Names assigned a small-int-dtype array, mapped to the dtype label."""
+    tracked: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        label = next(
+            (
+                lbl
+                for kw in value.keywords
+                if kw.arg == "dtype"
+                and (lbl := _small_dtype_label(kw.value, aliases)) is not None
+            ),
+            None,
+        )
+        if label is None:
+            # x = y.astype(np.uint8) creates a small array too.
+            if (
+                isinstance(value.func, ast.Attribute)
+                and value.func.attr == "astype"
+                and value.args
+            ):
+                label = _small_dtype_label(value.args[0], aliases)
+        if label is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                tracked[target.id] = label
+    return tracked
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """Underlying name of a target: ``x`` for ``x``, ``x[i]``, ``x[i:j]``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _names_in(node: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _check_function(
+    module: Module, func: astutil.FunctionNode, aliases: dict[str, str]
+) -> Iterator[Finding]:
+    tracked = _tracked_arrays(func, aliases)
+    if not tracked:
+        return
+    for node in ast.walk(func):
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.op, _ACCUMULATING_OPS
+        ):
+            name = _base_name(node.target)
+            if name in tracked:
+                yield module.finding(
+                    RULE_ID,
+                    node,
+                    f"in-place accumulation into {tracked[name]} array "
+                    f"'{name}' can silently wrap (PR 3 uint8 BFS bug class); "
+                    "accumulate in int64 and downcast at the end",
+                )
+        elif isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.BinOp) and isinstance(
+                value.op, ast.MatMult
+            ):
+                for target in node.targets:
+                    name = _base_name(target)
+                    if name in tracked and name in _names_in(value):
+                        yield module.finding(
+                            RULE_ID,
+                            node,
+                            f"matmul feedback into {tracked[name]} array "
+                            f"'{name}' wraps mod 2^{{8,16}} (PR 3 uint8 BFS "
+                            "bug class); use an int64 accumulator",
+                        )
+        elif isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if (
+                    kw.arg == "out"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in tracked
+                ):
+                    yield module.finding(
+                        RULE_ID,
+                        kw.value,
+                        f"out= targets {tracked[kw.value.id]} array "
+                        f"'{kw.value.id}'; reductions into sub-int32 "
+                        "integers wrap silently",
+                    )
+
+
+@register_rule(
+    RULE_ID,
+    "dtype-overflow",
+    "no in-place accumulation, matmul feedback, or out= reductions "
+    "into integer arrays narrower than int32",
+    "PR 3: a uint8 BFS frontier matmul wrapped mod 256 and shortened "
+    "distances; the fix pinned int64 accumulators in "
+    "repro/symmetry/context.py",
+)
+def check(module: Module) -> Iterator[Finding]:
+    aliases = astutil.import_aliases(module.tree)
+    for func in astutil.walk_functions(module.tree):
+        yield from _check_function(module, func, aliases)

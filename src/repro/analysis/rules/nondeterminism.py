@@ -1,0 +1,101 @@
+"""REPRO105 — nondeterminism ban: no wall clocks, OS entropy, set order.
+
+Every engine, store, and campaign path must be a pure function of its
+inputs: EXPERIMENTS.md deliberately omits timings so warm and cold
+runs are byte-identical, and campaign cells must replay from a seed
+alone.  Three ambient-state leaks are banned outright:
+
+* wall-clock reads (``time.time``, ``datetime.now``, …) — measuring
+  *elapsed* time for display is fine (``time.perf_counter`` is not
+  banned; keep it out of persisted payloads);
+* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets.*``) — all
+  randomness must come from an explicit seed; and
+* iterating a ``set`` display / comprehension / ``set(...)`` call —
+  set order depends on the interpreter's hash layout, so any output
+  it feeds can reorder across Python versions.  Sort it, or use
+  ``dict.fromkeys(...)`` for order-preserving dedup.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, register_rule
+
+RULE_ID = "REPRO105"
+
+_BANNED_CALLS: dict[str, str] = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "host/clock-dependent id",
+    "uuid.uuid4": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.token_urlsafe": "OS entropy",
+    "secrets.randbits": "OS entropy",
+    "secrets.randbelow": "OS entropy",
+    "secrets.choice": "OS entropy",
+}
+
+
+def _is_set_expr(node: ast.expr, aliases: dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return astutil.resolve_call(node.func, aliases) == "set"
+    return False
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[ast.expr]:
+    """Every ``for ... in <expr>`` iterable, loops and comprehensions."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                yield gen.iter
+
+
+@register_rule(
+    RULE_ID,
+    "nondeterminism",
+    "no wall-clock reads, OS entropy, or iteration over set "
+    "expressions in deterministic paths",
+    "determinism contract: EXPERIMENTS.md and campaign records must be "
+    "byte-identical across runs, machines, and Python versions "
+    "(docs/orchestration.md, docs/campaigns.md)",
+)
+def check(module: Module) -> Iterator[Finding]:
+    aliases = astutil.import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = astutil.resolve_call(node.func, aliases)
+        if resolved in _BANNED_CALLS:
+            yield module.finding(
+                RULE_ID,
+                node,
+                f"'{resolved}()' injects {_BANNED_CALLS[resolved]} into a "
+                "deterministic path; outputs must be pure functions of "
+                "explicit inputs",
+            )
+    for iterable in _iteration_sites(module.tree):
+        if _is_set_expr(iterable, aliases):
+            yield module.finding(
+                RULE_ID,
+                iterable,
+                "iterating a set expression: order depends on the hash "
+                "layout and can differ across Python versions; wrap in "
+                "sorted(...) or dedup with dict.fromkeys(...)",
+            )

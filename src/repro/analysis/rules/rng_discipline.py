@@ -1,0 +1,140 @@
+"""REPRO101 — RNG discipline: no ambient randomness, seeds must thread.
+
+The determinism contract says every random choice is a pure function
+of an explicit seed (``repro.util.SplitMix64`` + ``derive_seed``), so
+any campaign cell replays bit-for-bit from its artifact.  Two patterns
+break that silently:
+
+* calls into a *global* RNG — stdlib ``random.<fn>()`` module
+  functions or legacy ``numpy.random.<fn>()`` — whose hidden state
+  makes results depend on call order and process history; and
+* a function that accepts ``seed``/``rng`` but calls a local helper
+  that also takes one *without passing it on*, so the helper falls
+  back to a default and half the entropy path is unkeyed (the
+  "default-seed gap" audited in graphs/ and baselines/).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, register_rule
+
+RULE_ID = "REPRO101"
+
+#: stdlib ``random`` module-level functions (the hidden global Mersenne
+#: Twister).  ``random.Random(seed)`` / ``random.SystemRandom`` are
+#: class constructors, not listed, and stay legal.
+_STDLIB_GLOBAL = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: legacy ``numpy.random`` global-state functions.
+_NUMPY_GLOBAL = frozenset(
+    {
+        "bytes", "choice", "exponential", "normal", "permutation", "rand",
+        "randint", "randn", "random", "random_sample", "seed", "shuffle",
+        "standard_normal", "uniform",
+    }
+)
+
+_SEED_PARAMS = ("seed", "rng")
+
+
+def _global_rng_findings(module: Module, aliases: dict[str, str]) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = astutil.resolve_call(node.func, aliases)
+        if resolved is None:
+            continue
+        parts = resolved.split(".")
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_GLOBAL:
+            yield module.finding(
+                RULE_ID,
+                node,
+                f"call to global-state RNG '{resolved}()'; use "
+                "repro.util.SplitMix64 with an explicit derive_seed(...) seed",
+            )
+        elif (
+            len(parts) == 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] in _NUMPY_GLOBAL
+        ):
+            yield module.finding(
+                RULE_ID,
+                node,
+                f"call to legacy numpy global RNG '{resolved}()'; use "
+                "repro.util.SplitMix64 (or a seeded Generator) instead",
+            )
+        elif resolved == "numpy.random.default_rng" and not (
+            node.args or node.keywords
+        ):
+            yield module.finding(
+                RULE_ID,
+                node,
+                "numpy.random.default_rng() without a seed draws OS entropy; "
+                "pass an explicit seed",
+            )
+
+
+def _seed_threading_findings(module: Module) -> Iterator[Finding]:
+    locals_ = astutil.module_functions(module.tree)
+    seeded_locals = {
+        name: func
+        for name, func in locals_.items()
+        if astutil.parameter_names(func) & set(_SEED_PARAMS)
+    }
+    if not seeded_locals:
+        return
+    for caller in astutil.walk_functions(module.tree):
+        caller_params = astutil.parameter_names(caller) & set(_SEED_PARAMS)
+        if not caller_params:
+            continue
+        for node in ast.walk(caller):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in seeded_locals
+                and node.func.id != caller.name
+            ):
+                continue
+            callee = seeded_locals[node.func.id]
+            callee_params = astutil.parameter_names(callee) & set(_SEED_PARAMS)
+            if any(
+                astutil.call_binds_param(node, callee, param)
+                for param in callee_params
+            ):
+                continue
+            wanted = "/".join(sorted(callee_params))
+            yield module.finding(
+                RULE_ID,
+                node,
+                f"'{caller.name}' takes {'/'.join(sorted(caller_params))} but "
+                f"calls '{node.func.id}()' without binding its '{wanted}' "
+                "parameter — the callee falls back to an unkeyed default",
+            )
+
+
+@register_rule(
+    RULE_ID,
+    "rng-discipline",
+    "no global-state RNG calls; seed/rng parameters must thread into "
+    "every local callee that accepts one",
+    "determinism contract: every campaign cell must replay bit-for-bit "
+    "from its seed (docs/campaigns.md); default-seed gaps audited in "
+    "graphs/random_graphs.py and baselines/ (ISSUE 6)",
+)
+def check(module: Module) -> Iterator[Finding]:
+    aliases = astutil.import_aliases(module.tree)
+    yield from _global_rng_findings(module, aliases)
+    yield from _seed_threading_findings(module)

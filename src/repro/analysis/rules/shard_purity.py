@@ -1,0 +1,130 @@
+"""REPRO106 — shard purity: shard entry points must not leak state.
+
+The orchestrator's contract (docs/orchestration.md) is that
+``make_shards``/``run_shard`` results depend only on ``(config,
+shard)``: shards execute in arbitrary order across a process pool,
+possibly twice (cold + resume), and their results are cached under a
+content address that knows nothing about ambient process state.  A
+shard that mutates module globals, the environment, or attributes of
+imported modules makes results depend on *which worker ran what
+before* — irreproducible by construction and invisible to the cache
+key.  This rule bans, inside any function named ``run_shard`` or
+``make_shards`` (and its nested helpers):
+
+* ``global`` declarations (module-state mutation),
+* writes to ``os.environ`` (subscript/del/``update``/``pop``/
+  ``setdefault``/``clear``) and ``os.putenv``/``os.unsetenv``,
+* assignments to attributes of imported modules (monkeypatching).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, register_rule
+
+RULE_ID = "REPRO106"
+
+_SHARD_FUNCS = frozenset({"run_shard", "make_shards"})
+
+_ENVIRON_METHODS = frozenset({"update", "pop", "setdefault", "clear", "popitem"})
+
+
+def _environ_target(node: ast.expr, aliases: dict[str, str]) -> bool:
+    return astutil.resolve_call(node, aliases) == "os.environ"
+
+
+def _check_shard_function(
+    module: Module,
+    func: astutil.FunctionNode,
+    aliases: dict[str, str],
+    imported_modules: set[str],
+) -> Iterator[Finding]:
+    where = f"shard entry point '{func.name}'"
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            yield module.finding(
+                RULE_ID,
+                node,
+                f"{where} declares global {', '.join(node.names)}: shard "
+                "results must depend only on (config, shard), never on "
+                "module state mutated across shards",
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and _environ_target(
+                    target.value, aliases
+                ):
+                    yield module.finding(
+                        RULE_ID,
+                        target,
+                        f"{where} writes os.environ: environment changes "
+                        "leak across pooled workers and are invisible to "
+                        "the cache key",
+                    )
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in imported_modules
+                ):
+                    yield module.finding(
+                        RULE_ID,
+                        target,
+                        f"{where} assigns attribute "
+                        f"'{target.value.id}.{target.attr}' of an imported "
+                        "module: monkeypatching leaks across shards",
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and _environ_target(
+                    target.value, aliases
+                ):
+                    yield module.finding(
+                        RULE_ID,
+                        target,
+                        f"{where} deletes an os.environ entry: environment "
+                        "changes leak across pooled workers",
+                    )
+        elif isinstance(node, ast.Call):
+            resolved = astutil.resolve_call(node.func, aliases)
+            if resolved in ("os.putenv", "os.unsetenv"):
+                yield module.finding(
+                    RULE_ID,
+                    node,
+                    f"{where} calls {resolved}(): environment changes leak "
+                    "across pooled workers",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ENVIRON_METHODS
+                and _environ_target(node.func.value, aliases)
+            ):
+                yield module.finding(
+                    RULE_ID,
+                    node,
+                    f"{where} calls os.environ.{node.func.attr}(): "
+                    "environment changes leak across pooled workers",
+                )
+
+
+@register_rule(
+    RULE_ID,
+    "shard-purity",
+    "run_shard/make_shards must not mutate module globals, os.environ, "
+    "or attributes of imported modules",
+    "orchestrator contract: shards run in arbitrary order across a "
+    "process pool and are cached by a content address that cannot see "
+    "ambient process state (docs/orchestration.md)",
+)
+def check(module: Module) -> Iterator[Finding]:
+    aliases = astutil.import_aliases(module.tree)
+    imported = astutil.imported_module_names(module.tree)
+    for func in astutil.walk_functions(module.tree):
+        if func.name in _SHARD_FUNCS:
+            yield from _check_shard_function(module, func, aliases, imported)

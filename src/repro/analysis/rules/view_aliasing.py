@@ -1,0 +1,105 @@
+"""REPRO103 — view-aliasing hazard: don't return slices of mutated buffers.
+
+Encodes the PR 1 bug: ``simulate_word_batch`` filled a reused scratch
+buffer and returned numpy *views* (slices) of it — the next call
+overwrote the caller's "result" in place.  The fix was an explicit
+``.copy()`` plus a regression test; this rule makes the pattern
+illegal at parse time: a function that subscript-assigns (or
+``+=``-mutates) a buffer may not ``return`` a slice of that same
+buffer.  Returning ``buf[:k].copy()``, ``np.array(buf[:k])``, or an
+integer/fancy-indexed element (those materialize) stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Module, register_rule
+
+RULE_ID = "REPRO103"
+
+#: ndarray methods that mutate in place when called on a buffer.
+_INPLACE_METHODS = frozenset({"fill", "sort", "partition", "put", "resize"})
+
+
+def _target_base(node: ast.expr) -> str | None:
+    """Dotted base of a mutated target: ``buf`` / ``self.buf``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return astutil.dotted_name(node)
+
+
+def _mutated_buffers(func: astutil.FunctionNode) -> dict[str, int]:
+    """Dotted names mutated in place, mapped to the first mutating line."""
+    mutated: dict[str, int] = {}
+
+    def note(name: str | None, lineno: int) -> None:
+        if name is not None and name not in mutated:
+            mutated[name] = lineno
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    note(_target_base(target), node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript):
+                note(_target_base(node.target), node.lineno)
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _INPLACE_METHODS
+            ):
+                note(astutil.dotted_name(node.func.value), node.lineno)
+    return mutated
+
+
+def _returned_view_base(node: ast.expr) -> str | None:
+    """Dotted base when the expression is a *slice* of a name."""
+    if isinstance(node, ast.Subscript) and astutil.slice_in_subscript(node):
+        return _target_base(node)
+    return None
+
+
+def _check_function(
+    module: Module, func: astutil.FunctionNode
+) -> Iterator[Finding]:
+    mutated = _mutated_buffers(func)
+    if not mutated:
+        return
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.Return, ast.Yield)) or node.value is None:
+            continue
+        candidates: list[ast.expr] = [node.value]
+        if isinstance(node.value, ast.Tuple):
+            candidates = list(node.value.elts)
+        for expr in candidates:
+            base = _returned_view_base(expr)
+            if base is None or base not in mutated:
+                continue
+            verb = "returns" if isinstance(node, ast.Return) else "yields"
+            yield module.finding(
+                RULE_ID,
+                expr,
+                f"'{func.name}' {verb} a slice (view) of '{base}', which it "
+                f"also mutates (line {mutated[base]}); later writes alias "
+                "the caller's result (PR 1 simulate_word_batch bug class) — "
+                "return an explicit .copy()",
+            )
+
+
+@register_rule(
+    RULE_ID,
+    "view-aliasing",
+    "a function must not return/yield a slice of a buffer it mutates "
+    "in place",
+    "PR 1: simulate_word_batch returned views of a reused scratch "
+    "buffer; the next call overwrote previously returned results "
+    "(fixed with an explicit copy + regression test)",
+)
+def check(module: Module) -> Iterator[Finding]:
+    for func in astutil.walk_functions(module.tree):
+        yield from _check_function(module, func)

@@ -26,7 +26,8 @@ phase bookkeeping requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Callable, Generator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.combinators import backtrack
 from repro.core.labels import (
@@ -37,8 +38,11 @@ from repro.core.labels import (
     reconstruct_view,
 )
 from repro.core.schedules import good_window_bound, schedule_word
-from repro.sim.actions import Move, Perception, WaitBlock
+from repro.sim.actions import Action, Move, Perception, WaitBlock
 from repro.sim.agent import AgentScript, wait_rounds
+
+if TYPE_CHECKING:  # circular at runtime: universal imports asymm_rv
+    from repro.core.universal import UniversalOracle
 
 __all__ = [
     "AsymmParams",
@@ -142,7 +146,9 @@ def uxs_traverse_and_return(percept: Perception, uxs: Sequence[int]) -> AgentScr
     return percept
 
 
-def _acquire_label_faithful(percept: Perception, params: AsymmParams):
+def _acquire_label_faithful(
+    percept: Perception, params: AsymmParams
+) -> Generator[Action, Perception, tuple[Perception, tuple[int, ...]]]:
     """Reconstruct the view within ``2 * view_budget`` rounds.
 
     If the budget is exhausted mid-walk (possible only when the actual
@@ -222,7 +228,9 @@ def asymm_rv(
         slot += 1
 
 
-def make_asymm_algorithm(params: AsymmParams, *, use_oracle: bool):
+def make_asymm_algorithm(
+    params: AsymmParams, *, use_oracle: bool
+) -> Callable[..., AgentScript]:
     """Algorithm factory: dedicated ``AsymmRV`` with known parameters.
 
     With ``use_oracle=True`` the scheduler must supply per-agent
@@ -231,8 +239,13 @@ def make_asymm_algorithm(params: AsymmParams, *, use_oracle: bool):
     reconstruct their views physically.
     """
 
-    def algorithm(percept: Perception, oracle=None) -> AgentScript:
-        raw = oracle.raw_label(params.n) if use_oracle else None
+    def algorithm(
+        percept: Perception, oracle: UniversalOracle | None = None
+    ) -> AgentScript:
+        raw: Sequence[int] | None = None
+        if use_oracle:
+            assert oracle is not None, "oracle mode needs a scheduler oracle"
+            raw = oracle.raw_label(params.n)
         yield from asymm_rv(percept, params, raw)
         raise AssertionError("asymm_rv never returns")
 

@@ -15,13 +15,17 @@ combinators implement that pattern generically:
 
 from __future__ import annotations
 
-from repro.sim.actions import Move, Perception, Wait, WaitBlock
+from collections.abc import Generator
+
+from repro.sim.actions import Action, Move, Perception, Wait, WaitBlock
 from repro.sim.agent import AgentScript, wait_rounds
 
 __all__ = ["bounded_run", "backtrack", "run_segment"]
 
 
-def bounded_run(percept: Perception, script: AgentScript, budget: int):
+def bounded_run(
+    percept: Perception, script: AgentScript, budget: int
+) -> Generator[Action, Perception, tuple[Perception, list[int]]]:
     """Run ``script`` for exactly ``budget`` rounds.
 
     Yields the script's actions (splitting a wait block that would

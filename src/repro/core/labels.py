@@ -28,10 +28,10 @@ void the guarantee, so harnesses certify label distinctness per run).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Generator, Sequence
 
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.sim.actions import Move, Perception
+from repro.sim.actions import Action, Move, Perception
 from repro.util.lcg import SplitMix64, derive_seed
 
 __all__ = [
@@ -143,7 +143,9 @@ def encode_view_tree(tree: tuple) -> tuple[int, ...]:
     return _encode_rows(rows, root)
 
 
-def reconstruct_view(percept: Perception, depth: int):
+def reconstruct_view(
+    percept: Perception, depth: int
+) -> Generator[Action, Perception, tuple[Perception, tuple]]:
     """Agent subroutine: physically reconstruct the truncated view.
 
     Enumerates all walks of length ``depth`` from the current node in

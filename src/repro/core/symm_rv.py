@@ -15,7 +15,7 @@ while the later agent is inside its ``delta - d``-round wait.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.explore import explore
 from repro.core.uxs import uxs_for_size
@@ -76,7 +76,7 @@ def symm_rv(
 
 def make_symm_rv_algorithm(
     n: int, d: int, delta: int, *, uxs: Sequence[int] | None = None
-):
+) -> Callable[[Perception], AgentScript]:
     """Algorithm factory: dedicated ``SymmRV`` with known parameters.
 
     This is the Section 3.1 setting (Lemma 3.2): the size, the Shrink

@@ -27,6 +27,7 @@ at all.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.core.asymm_rv import asymm_rv
@@ -40,7 +41,11 @@ from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.actions import Perception
 from repro.sim.agent import AgentScript
 from repro.sim.scheduler import RendezvousResult, run_rendezvous
-from repro.symmetry.feasibility import FeasibilityVerdict, classify_stic
+from repro.symmetry.feasibility import (
+    AtlasEntry,
+    FeasibilityVerdict,
+    classify_stic,
+)
 
 __all__ = [
     "universal_rv",
@@ -118,14 +123,18 @@ def universal_rv(
         phase += 1
 
 
-def make_universal_algorithm(profile: Profile = TUNED):
+def make_universal_algorithm(
+    profile: Profile = TUNED,
+) -> Callable[..., AgentScript]:
     """Algorithm factory for :func:`repro.sim.scheduler.run_rendezvous`.
 
     With an oracle-mode profile the scheduler must be given per-agent
     oracles (see :func:`rendezvous`, which wires everything up).
     """
 
-    def algorithm(percept: Perception, oracle: UniversalOracle | None = None):
+    def algorithm(
+        percept: Perception, oracle: UniversalOracle | None = None
+    ) -> AgentScript:
         return universal_rv(percept, profile, oracle)
 
     return algorithm
@@ -280,7 +289,7 @@ def universal_feasibility_atlas(
     *,
     profile: Profile = TUNED,
     infeasible_horizon: int = 512,
-):
+) -> list[AtlasEntry]:
     """The canonical UniversalRV atlas: certify the profile on the
     graph (coverage once, per-node labels encoded once and compared
     across all pairs), budget each STIC from its verdict via

@@ -40,6 +40,9 @@ SCENARIO = ScenarioSpec(
     title="Shrink(u, v) on the paper's example families (Section 3)",
     module="repro.experiments.e_shrink",
     shard_axis="graph family instance",
+    # v2: torus check rows dedup in insertion order (was set order);
+    # stress-tier 7x7 row order changes, so stale caches must miss.
+    code_version=2,
     tiers={
         "smoke": {
             "torus_sizes": [[3, 3]],
@@ -98,7 +101,13 @@ def _checks_for(shard: dict) -> list[tuple[str, object, int, int, int]]:
         rows, cols = shard["rows"], shard["cols"]
         torus = oriented_torus(rows, cols)
         checks = []
-        for r, c in {(0, 1), (1, 1), (rows - 1, cols - 1), (rows // 2, cols // 2)}:
+        # dict.fromkeys, not a set: dedup must preserve insertion order
+        # so the table's row order is identical on every interpreter
+        # (REPRO105; set order follows the hash layout).
+        coords = dict.fromkeys(
+            [(0, 1), (1, 1), (rows - 1, cols - 1), (rows // 2, cols // 2)]
+        )
+        for r, c in coords:
             v = torus_node(r, c, cols)
             if v == 0:
                 continue

@@ -54,12 +54,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable, NoReturn
 
 import numpy as np
 
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.sim.actions import Move, Perception, Wait, WaitBlock
+from repro.sim.actions import Action, Move, Perception, Wait, WaitBlock
+from repro.sim.agent import AgentScript
 from repro.sim.scheduler import RendezvousResult, SimulationLimit
 
 __all__ = ["PortTrace", "TraceCompiler", "run_rendezvous_batch"]
@@ -101,7 +102,7 @@ class _BadPortChoice(ValueError):
         self.clock = clock
 
 
-def _raise_for_stic(exc: Exception, start_round: int):
+def _raise_for_stic(exc: Exception, start_round: int) -> NoReturn:
     """Re-raise a compiled error as the scalar scheduler would for an
     agent that starts at global round ``start_round``."""
     if isinstance(exc, _BadPortChoice):
@@ -120,7 +121,7 @@ class _TrieNode:
 
     __slots__ = ("action", "children")
 
-    def __init__(self, action) -> None:
+    def __init__(self, action: Action | _Stop | _Raise) -> None:
         self.action = action
         self.children: dict[tuple[int, int], _TrieNode] = {}
 
@@ -293,14 +294,14 @@ class TraceCompiler:
             or trace.valid_through >= horizon
         )
 
-    def _instantiate(self, wake: Perception, start: int):
+    def _instantiate(self, wake: Perception, start: int) -> AgentScript:
         if self._oracle_factory is None:
             return self._algorithm(wake)
         if start not in self._oracles:
             self._oracles[start] = self._oracle_factory(start)
         return self._algorithm(wake, self._oracles[start])
 
-    def _replay(self, group: _Group, current: Perception):
+    def _replay(self, group: _Group, current: Perception) -> AgentScript:
         """Fresh generator positioned to decide on ``current``."""
         wake = group.percepts[0] if group.percepts else current
         script = self._instantiate(wake, int(group.starts[0]))
@@ -313,7 +314,9 @@ class TraceCompiler:
         return script
 
     @staticmethod
-    def _advance(script, percept: Perception, first: bool):
+    def _advance(
+        script: AgentScript, percept: Perception, first: bool
+    ) -> Action | _Stop | _Raise:
         try:
             action = next(script) if first else script.send(percept)
         except StopIteration:
@@ -334,7 +337,7 @@ class TraceCompiler:
 
     def _replay_keys(
         self, hist: list[tuple[int, int, int]], current: Perception, start: int
-    ):
+    ) -> AgentScript:
         """Fresh generator for the singleton path; perceptions are
         rebuilt from the recorded ``(degree, entry, clock)`` stream."""
         if not hist:
@@ -552,7 +555,7 @@ def _try_solve(
     trace_u: PortTrace,
     trace_v: PortTrace,
     raise_on_limit: bool,
-):
+) -> Any:  # RendezvousResult, or the _PENDING sentinel
     """Resolve one STIC from (possibly truncated) traces.
 
     Returns a :class:`RendezvousResult`, raises like the scalar

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, NoReturn, Sequence
 
 import numpy as np
 
@@ -302,7 +302,12 @@ class _AsyncAgent:
     environment is free to collapse to nothing.
     """
 
-    def __init__(self, graph: PortLabeledGraph, node: int, algorithm) -> None:
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        node: int,
+        algorithm: Callable[[Perception], AgentScript],
+    ) -> None:
         self.graph = graph
         self.node = node
         self.entry_port: int | None = None
@@ -406,7 +411,7 @@ def run_schedule_adversary(
 # ---------------------------------------------------------------------------
 
 
-def _raise_for_async(exc: Exception, node: int):
+def _raise_for_async(exc: Exception, node: int) -> NoReturn:
     """Re-raise a compiled agent error as the scalar engine would."""
     if isinstance(exc, _BadPortChoice):
         raise ValueError(f"invalid port {exc.port} at node {node}")
@@ -432,7 +437,7 @@ def _try_solve_cell(
     budget: int,
     trace_u: PortTrace,
     trace_v: PortTrace,
-):
+) -> Any:  # AsyncOutcome, or the _PENDING sentinel
     """Resolve one (pair, schedule) cell from (possibly truncated)
     traces.
 

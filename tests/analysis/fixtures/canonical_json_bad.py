@@ -1,0 +1,22 @@
+"""REPRO104 bad: insertion-ordered JSON feeding a content address.
+
+Minimized from the PR 4-5 cache-corruption class: the store's key is
+the SHA-256 of the encoded JSON, so two semantically equal payloads
+built in different key orders produce different keys (spurious misses)
+— or the same key maps to byte-different files, breaking the CI
+cold==warm identity check.
+"""
+
+import hashlib
+import json
+
+
+def cache_key(payload: dict) -> str:
+    # BUG: encoding depends on dict insertion order.
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+def write_entry(path: str, entry: dict) -> None:
+    with open(path, "w") as fh:
+        # BUG: sort_keys must be the literal True.
+        json.dump(entry, fh, sort_keys=bool(entry))

@@ -1,0 +1,14 @@
+"""REPRO104 good twin: canonical encodings everywhere."""
+
+import hashlib
+import json
+
+
+def cache_key(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def write_entry(path: str, entry: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(entry, fh, sort_keys=True, indent=2)

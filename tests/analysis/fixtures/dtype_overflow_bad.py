@@ -1,0 +1,31 @@
+"""REPRO102 bad: the PR 3 uint8 BFS accumulator bug, minimized.
+
+The real bug: repro/symmetry/context.py's all-pairs BFS briefly used
+the frontier matrix itself — a uint8 array — as the matmul
+accumulator.  Path counts wrap mod 256 on graphs with enough short
+cycles, a "reached" entry can wrap back to 0, and distances come out
+*shorter* than real, silently corrupting Shrink values.  The fixed
+kernel carries int64 accumulators (see the comment at
+src/repro/symmetry/context.py:175).
+"""
+
+import numpy as np
+
+
+def bfs_distances(adjacency: np.ndarray) -> np.ndarray:
+    n = adjacency.shape[0]
+    dist = np.full((n, n), -1, dtype=np.int64)
+    frontier = np.eye(n, dtype=np.uint8)  # BUG: sub-int32 accumulator
+    for step in range(n):
+        newly = (frontier > 0) & (dist < 0)
+        dist[newly] = step
+        # BUG: matmul feedback wraps mod 256 once path counts grow.
+        frontier = frontier @ adjacency
+    return dist
+
+
+def tally_visits(visits: np.ndarray, hits: np.ndarray) -> np.ndarray:
+    counts = np.zeros(visits.shape, dtype="uint16")
+    counts += hits  # BUG: in-place accumulation into uint16
+    np.add(counts, hits, out=counts)  # BUG: out= reduction into uint16
+    return counts

@@ -1,0 +1,25 @@
+"""REPRO102 good twin: int64 accumulators, downcast only at the edges."""
+
+import numpy as np
+
+
+def bfs_distances(adjacency: np.ndarray) -> np.ndarray:
+    n = adjacency.shape[0]
+    dist = np.full((n, n), -1, dtype=np.int64)
+    frontier = np.eye(n, dtype=np.int64)
+    for step in range(n):
+        newly = (frontier > 0) & (dist < 0)
+        dist[newly] = step
+        frontier = frontier @ adjacency
+    return dist
+
+
+def tally_visits(visits: np.ndarray, hits: np.ndarray) -> np.ndarray:
+    counts = np.zeros(visits.shape, dtype=np.int64)
+    counts += hits
+    return counts
+
+
+def compact_flags(reached: np.ndarray) -> np.ndarray:
+    # Creating a small array is fine; only accumulation into one is not.
+    return (reached > 0).astype(np.uint8)

@@ -1,0 +1,29 @@
+"""REPRO105 bad: ambient state leaking into deterministic payloads."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def shard_meta(exp_id: str) -> dict:
+    return {
+        "exp_id": exp_id,
+        "run_id": uuid.uuid4().hex,  # OS entropy in a cached payload
+        "started": time.time(),  # wall clock in a cached payload
+        "day": datetime.now().isoformat(),
+        "nonce": os.urandom(8).hex(),
+    }
+
+
+def merged_rows(rows: list[dict]) -> list[str]:
+    # Set order follows the hash layout: output can reorder across
+    # interpreters/versions.
+    return [row_id for row_id in {row["id"] for row in rows}]
+
+
+def families() -> list[str]:
+    out = []
+    for name in {"ring", "torus", "tree"}:
+        out.append(name)
+    return out

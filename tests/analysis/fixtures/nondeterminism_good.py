@@ -1,0 +1,31 @@
+"""REPRO105 good twin: pure payloads, ordered iteration."""
+
+import time
+
+from repro.util.lcg import derive_seed
+
+
+def shard_meta(exp_id: str, seed: int) -> dict:
+    return {
+        "exp_id": exp_id,
+        "run_id": f"{derive_seed('run', exp_id, seed):016x}",
+    }
+
+
+def merged_rows(rows: list[dict]) -> list[str]:
+    return sorted({row["id"] for row in rows})
+
+
+def families() -> list[str]:
+    out = []
+    for name in ("ring", "torus", "tree"):
+        out.append(name)
+    return out
+
+
+def timed(fn):
+    # Elapsed-time *measurement* for display is fine: perf_counter is
+    # not a banned call, provided timings stay out of persisted data.
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

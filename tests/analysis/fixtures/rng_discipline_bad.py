@@ -1,0 +1,19 @@
+"""REPRO101 bad: ambient global-state RNG calls (never importable)."""
+
+import random
+
+import numpy as np
+
+
+def sample_nodes(n: int) -> list[int]:
+    # Hidden global Mersenne Twister: result depends on call history.
+    chosen = random.sample(range(n), 2)
+    random.shuffle(chosen)
+    return chosen
+
+
+def noisy_weights(n: int):
+    # Legacy numpy global RNG + unseeded generator.
+    base = np.random.rand(n)
+    gen = np.random.default_rng()
+    return base + gen.random(n)

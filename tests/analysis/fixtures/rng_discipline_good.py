@@ -1,0 +1,17 @@
+"""REPRO101 good twin: all randomness keyed by explicit seeds."""
+
+import numpy as np
+
+from repro.util.lcg import SplitMix64, derive_seed
+
+
+def sample_nodes(n: int, seed: int) -> list[int]:
+    rng = SplitMix64(derive_seed("sample", n, seed))
+    first = rng.randrange(n)
+    second = rng.randrange(n - 1)
+    return [first, second if second < first else second + 1]
+
+
+def noisy_weights(n: int, seed: int):
+    gen = np.random.default_rng(seed)
+    return gen.random(n)

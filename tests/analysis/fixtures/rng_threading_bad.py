@@ -1,0 +1,21 @@
+"""REPRO101 bad: a seed parameter that stops halfway down the stack.
+
+Minimized from the default-seed gap class audited in
+graphs/random_graphs.py and baselines/: the public entry point takes a
+seed, but the helper it delegates to falls back to its own default, so
+half the entropy path ignores the caller's seed.
+"""
+
+from __future__ import annotations
+
+
+def random_ports(degree: int, seed: int = 0) -> list[int]:
+    order = list(range(degree))
+    shift = seed % max(degree, 1)
+    return order[shift:] + order[:shift]
+
+
+def random_instance(n: int, seed: int) -> list[list[int]]:
+    # BUG: seed is accepted but never threaded into random_ports —
+    # every caller's seed produces the same port labelling.
+    return [random_ports(n) for _ in range(n)]

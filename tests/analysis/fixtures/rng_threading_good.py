@@ -1,0 +1,13 @@
+"""REPRO101 good twin: the seed threads into every seeded callee."""
+
+from __future__ import annotations
+
+
+def random_ports(degree: int, seed: int = 0) -> list[int]:
+    order = list(range(degree))
+    shift = seed % max(degree, 1)
+    return order[shift:] + order[:shift]
+
+
+def random_instance(n: int, seed: int) -> list[list[int]]:
+    return [random_ports(n, seed=seed + v) for v in range(n)]

@@ -1,0 +1,26 @@
+"""REPRO106 bad: shard entry points leaking process state.
+
+Shards execute in arbitrary order across a process pool and their
+results are cached by a content address that cannot see ambient
+process state — any of the mutations below makes a shard's result
+depend on which worker ran what before it.
+"""
+
+import os
+
+import numpy as np
+
+_CALLS = 0
+
+
+def make_shards(config: dict) -> list[dict]:
+    os.environ["REPRO_TIER"] = str(config["tier"])  # leaks to the pool
+    return [{"index": i} for i in range(config["count"])]
+
+
+def run_shard(config: dict, shard: dict) -> dict:
+    global _CALLS  # module state mutated across shards
+    _CALLS += 1
+    os.environ.update(REPRO_SHARD=str(shard["index"]))
+    np.seterr = None  # monkeypatching an imported module
+    return {"index": shard["index"], "calls": _CALLS}

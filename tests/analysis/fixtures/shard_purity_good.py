@@ -1,0 +1,24 @@
+"""REPRO106 good twin: shards are pure functions of (config, shard)."""
+
+from __future__ import annotations
+
+
+def make_shards(config: dict) -> list[dict]:
+    return [
+        {"index": i, "tier": config["tier"]} for i in range(config["count"])
+    ]
+
+
+def run_shard(config: dict, shard: dict) -> dict:
+    rows = [shard["index"] * step for step in range(config["steps"])]
+    return {"index": shard["index"], "rows": rows}
+
+
+def _helper_outside_shards() -> None:
+    # Module-level mutation elsewhere is other rules' business; the
+    # shard-purity rule scopes to the shard entry points only.
+    global _STATE
+    _STATE = 1
+
+
+_STATE = 0

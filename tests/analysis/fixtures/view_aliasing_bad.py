@@ -1,0 +1,23 @@
+"""REPRO103 bad: the PR 1 simulate_word_batch aliasing bug, minimized.
+
+The real bug: repro/hardness/batch.py's word-batch simulator filled a
+reused scratch buffer and returned numpy *views* (slices) of it.  The
+next call overwrote the buffer in place — and with it every result the
+caller was still holding.  The fix was an explicit ``.copy()`` plus a
+regression test; this fixture is that bug with the simulation removed.
+"""
+
+import numpy as np
+
+_SCRATCH = np.zeros(1024, dtype=np.int64)
+
+
+def simulate_word(word: list[int], start: int) -> np.ndarray:
+    pos = start
+    _SCRATCH[0] = pos
+    for step, port in enumerate(word, start=1):
+        pos = pos + port
+        _SCRATCH[step] = pos
+    # BUG: a view of the shared scratch buffer escapes; the next call
+    # rewrites the caller's "result" in place.
+    return _SCRATCH[: len(word) + 1]

@@ -1,0 +1,23 @@
+"""REPRO103 good twin: materialize before the buffer escapes."""
+
+import numpy as np
+
+_SCRATCH = np.zeros(1024, dtype=np.int64)
+
+
+def simulate_word(word: list[int], start: int) -> np.ndarray:
+    pos = start
+    _SCRATCH[0] = pos
+    for step, port in enumerate(word, start=1):
+        pos = pos + port
+        _SCRATCH[step] = pos
+    return _SCRATCH[: len(word) + 1].copy()
+
+
+def fresh_positions(word: list[int], start: int) -> np.ndarray:
+    # A fresh per-call buffer returned whole (no slice) is fine too.
+    out = np.zeros(len(word) + 1, dtype=np.int64)
+    out[0] = start
+    for step, port in enumerate(word, start=1):
+        out[step] = out[step - 1] + port
+    return out

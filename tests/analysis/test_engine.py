@@ -1,0 +1,187 @@
+"""Engine mechanics: suppressions, baselines, parse errors, output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    collect_files,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+BAD_JSON_LINE = "json.dumps(payload)\n"
+
+
+def _write(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
+def test_suppression_with_reason_does_not_gate(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import json\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload)"
+        "  # repro-lint: disable=REPRO104 -- human-only debug dump\n",
+    )
+    report, _ = lint_paths([tmp_path])
+    assert report.exit_code == 0
+    assert [f.rule_id for f in report.suppressed] == ["REPRO104"]
+
+
+def test_bare_suppression_is_itself_a_finding(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import json\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload)  # repro-lint: disable=REPRO104\n",
+    )
+    report, _ = lint_paths([tmp_path])
+    assert report.exit_code == 1
+    assert [f.rule_id for f in report.findings] == ["REPRO100"]
+    assert "missing a '-- reason'" in report.findings[0].message
+    # The original finding is still recorded as suppressed, not lost.
+    assert [f.rule_id for f in report.suppressed] == ["REPRO104"]
+
+
+def test_unused_suppression_is_a_finding(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "X = 1  # repro-lint: disable=REPRO104 -- nothing to suppress here\n",
+    )
+    report, _ = lint_paths([tmp_path])
+    assert [f.rule_id for f in report.findings] == ["REPRO100"]
+    assert "matches no finding" in report.findings[0].message
+
+
+def test_suppression_in_docstring_is_ignored(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        '"""Docs may quote the syntax:\n\n'
+        "    x()  # repro-lint: disable=REPRO104 -- example\n"
+        '"""\n',
+    )
+    report, _ = lint_paths([tmp_path])
+    assert report.findings == []
+
+
+def test_wrong_rule_suppression_does_not_apply(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import json\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload)"
+        "  # repro-lint: disable=REPRO105 -- wrong rule\n",
+    )
+    report, _ = lint_paths([tmp_path])
+    rule_ids = sorted(f.rule_id for f in report.findings)
+    # The REPRO104 finding still gates, and the suppression is unused.
+    assert rule_ids == ["REPRO100", "REPRO104"]
+
+
+def test_baseline_roundtrip(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import json\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload)\n",
+    )
+    report, line_text = lint_paths([tmp_path])
+    assert report.exit_code == 1
+    baseline_file = tmp_path / "baseline.json"
+    count = write_baseline(baseline_file, report, line_text)
+    assert count == 1
+    baseline = load_baseline(baseline_file)
+    report2, _ = lint_paths([tmp_path], baseline=baseline)
+    assert report2.exit_code == 0
+    assert [f.rule_id for f in report2.baselined] == ["REPRO104"]
+    # A *new* violation on another line still gates.
+    _write(
+        tmp_path,
+        "mod.py",
+        "import json\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload)\n"
+        "def g(payload):\n"
+        "    return json.dumps(payload, indent=2)\n",
+    )
+    report3, _ = lint_paths([tmp_path], baseline=baseline)
+    assert report3.exit_code == 1
+    assert len(report3.findings) == 1 and report3.findings[0].line == 5
+
+
+def test_baseline_rejects_foreign_files(tmp_path):
+    path = _write(tmp_path, "baseline.json", json.dumps({"not": "a baseline"}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_parse_error_is_a_gating_finding(tmp_path):
+    _write(tmp_path, "broken.py", "def f(:\n")
+    report, _ = lint_paths([tmp_path])
+    assert report.exit_code == 1
+    assert [f.rule_id for f in report.findings] == ["REPRO000"]
+
+
+def test_collect_files_rejects_missing_paths(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        collect_files([tmp_path / "no-such-dir"])
+
+
+def test_collect_files_skips_hidden_and_pycache(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    _write(tmp_path / "__pycache__", "junk.py", "x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    _write(tmp_path / ".hidden", "junk.py", "x = 1\n")
+    keep = _write(tmp_path, "keep.py", "x = 1\n")
+    assert collect_files([tmp_path]) == [keep]
+
+
+def test_select_and_ignore_filter_rules(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import json, time\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload), time.time()\n",
+    )
+    both, _ = lint_paths([tmp_path])
+    assert sorted({f.rule_id for f in both.findings}) == ["REPRO104", "REPRO105"]
+    only104, _ = lint_paths([tmp_path], select=["REPRO104"])
+    assert {f.rule_id for f in only104.findings} == {"REPRO104"}
+    no104, _ = lint_paths([tmp_path], ignore=["REPRO104"])
+    assert {f.rule_id for f in no104.findings} == {"REPRO105"}
+    with pytest.raises(KeyError):
+        lint_paths([tmp_path], select=["NOPE999"])
+
+
+def test_json_report_is_canonical(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import json\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload)\n",
+    )
+    report, line_text = lint_paths([tmp_path])
+    payload = report.to_json_dict(line_text=line_text)
+    first = json.dumps(payload, sort_keys=True)
+    second = json.dumps(report.to_json_dict(line_text=line_text), sort_keys=True)
+    assert first == second
+    decoded = json.loads(first)
+    assert decoded["summary"]["findings"] == 1
+    (row,) = decoded["findings"]
+    assert row["rule"] == "REPRO104"
+    assert len(row["fingerprint"]) == 16

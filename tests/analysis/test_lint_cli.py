@@ -1,0 +1,105 @@
+"""``repro lint`` CLI: dispatch, formats, gating exit codes.
+
+Includes the two acceptance-criteria gates from ISSUE 6: the repo's
+own ``src/`` tree must lint clean with zero undocumented suppressions,
+and the fixture corpus must exit non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+REPO_SRC = str(REPO_ROOT / "src")
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _run_cli(args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.runner", "lint", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def test_repo_src_lints_clean():
+    """Acceptance gate: `repro lint src/` exits 0, no suppressions."""
+    proc = _run_cli(["src"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s), 0 suppressed, 0 baselined" in proc.stdout
+
+
+def test_fixture_corpus_gates_nonzero():
+    """Acceptance gate: the known-bad corpus exits non-zero."""
+    proc = _run_cli([str(FIXTURES)])
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    for rule_id in ("REPRO101", "REPRO102", "REPRO103", "REPRO104",
+                    "REPRO105", "REPRO106"):
+        assert rule_id in proc.stdout
+
+
+def test_json_format_and_output_file(tmp_path):
+    out = tmp_path / "lint-report.json"
+    proc = _run_cli(
+        [str(FIXTURES), "--format", "json", "--output", str(out)]
+    )
+    assert proc.returncode == 1
+    payload = json.loads(out.read_text())
+    assert payload["version"] == 1
+    assert payload["summary"]["findings"] == len(payload["findings"])
+    assert payload["findings"], "corpus run must report findings"
+    # stdout carries the same canonical JSON document
+    assert json.loads(proc.stdout) == payload
+
+
+def test_list_rules():
+    proc = _run_cli(["--list-rules"])
+    assert proc.returncode == 0
+    for rule_id in ("REPRO101", "REPRO102", "REPRO103", "REPRO104",
+                    "REPRO105", "REPRO106"):
+        assert rule_id in proc.stdout
+    assert "PR 3" in proc.stdout  # rationales name the historical bugs
+
+
+def test_select_restricts_rules():
+    proc = _run_cli([str(FIXTURES), "--select", "repro104"])
+    assert proc.returncode == 1
+    assert "REPRO104" in proc.stdout
+    assert "REPRO105" not in proc.stdout
+
+
+def test_unknown_rule_is_usage_error():
+    proc = _run_cli([str(FIXTURES), "--select", "REPRO999"])
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    proc = _run_cli([str(tmp_path / "absent")])
+    assert proc.returncode == 2
+    assert "no such file or directory" in proc.stderr
+
+
+def test_write_baseline_then_clean(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import json\n"
+        "def f(payload):\n"
+        "    return json.dumps(payload)\n"
+    )
+    baseline = tmp_path / "baseline.json"
+    proc = _run_cli([str(mod), "--write-baseline", str(baseline)])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "wrote 1 fingerprint(s)" in proc.stdout
+    proc = _run_cli([str(mod), "--baseline", str(baseline)])
+    assert proc.returncode == 0
+    assert "1 baselined" in proc.stdout

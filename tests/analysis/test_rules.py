@@ -1,0 +1,87 @@
+"""Fixture-corpus tests: every rule flags its known-bad snippet and
+passes the known-good twin.
+
+The corpus under ``tests/analysis/fixtures/`` is the regression net
+the ISSUE 6 tentpole demands: each ``*_bad.py`` is a minimized
+reproduction of the historical bug its rule encodes (the PR 1
+``simulate_word_batch`` aliasing bug, the PR 3 uint8 BFS overflow,
+the PR 4-5 canonical-JSON lessons), and each ``*_good.py`` twin proves
+the rule does not fire on the idiomatic fix.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: fixture stem prefix -> rule id that must fire on the ``_bad`` file.
+CORPUS = {
+    "rng_discipline": "REPRO101",
+    "rng_threading": "REPRO101",
+    "dtype_overflow": "REPRO102",
+    "view_aliasing": "REPRO103",
+    "canonical_json": "REPRO104",
+    "nondeterminism": "REPRO105",
+    "shard_purity": "REPRO106",
+}
+
+
+def _lint(path: pathlib.Path):
+    report, _ = lint_paths([path])
+    return report
+
+
+@pytest.mark.parametrize("stem,rule_id", sorted(CORPUS.items()))
+def test_bad_fixture_is_flagged(stem: str, rule_id: str) -> None:
+    report = _lint(FIXTURES / f"{stem}_bad.py")
+    hits = [f for f in report.findings if f.rule_id == rule_id]
+    assert hits, f"{stem}_bad.py produced no {rule_id} finding"
+
+
+@pytest.mark.parametrize("stem", sorted(CORPUS))
+def test_good_twin_is_clean(stem: str) -> None:
+    report = _lint(FIXTURES / f"{stem}_good.py")
+    assert report.findings == [], [f.render() for f in report.findings]
+
+
+def test_every_rule_has_fixture_coverage() -> None:
+    """No rule ships without a bad/good fixture pair."""
+    covered = set(CORPUS.values())
+    assert covered == set(all_rules()), (
+        "rules without fixtures (add a *_bad.py/*_good.py pair and a "
+        f"CORPUS entry): {sorted(set(all_rules()) - covered)}"
+    )
+    for stem in CORPUS:
+        assert (FIXTURES / f"{stem}_bad.py").is_file()
+        assert (FIXTURES / f"{stem}_good.py").is_file()
+
+
+def test_corpus_gates_nonzero() -> None:
+    """The acceptance-criteria gate: the corpus as a whole must fail."""
+    report, _ = lint_paths([FIXTURES])
+    assert report.exit_code == 1
+    # Every rule contributes at least one finding to the corpus run.
+    fired = {f.rule_id for f in report.findings}
+    assert set(all_rules()) <= fired
+
+
+def test_aliasing_regression_matches_pr1_shape() -> None:
+    """The PR 1 fixture is flagged *on its return statement*."""
+    report = _lint(FIXTURES / "view_aliasing_bad.py")
+    (finding,) = [f for f in report.findings if f.rule_id == "REPRO103"]
+    assert "simulate_word" in finding.message
+    assert "_SCRATCH" in finding.message
+
+
+def test_overflow_regression_matches_pr3_shape() -> None:
+    """The PR 3 fixture is flagged on the uint8 matmul feedback."""
+    report = _lint(FIXTURES / "dtype_overflow_bad.py")
+    messages = [
+        f.message for f in report.findings if f.rule_id == "REPRO102"
+    ]
+    assert any("matmul feedback" in m and "uint8" in m for m in messages)

@@ -1,6 +1,5 @@
 """Edge cases of the leader-election reduction."""
 
-import pytest
 
 from repro.baselines.leader_election import Election, elect_leader
 from repro.graphs import path_graph, two_node_graph

@@ -9,7 +9,6 @@ failure shrinks to the smallest rung, and the artifact replays to the
 same failure while the bug is live — then passes once it is reverted.
 """
 
-import pytest
 
 import repro.campaigns.checks as checks_module
 import repro.sim.batch as batch_module

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import backtrack, bounded_run, run_segment
 from repro.graphs import oriented_ring, path_graph
-from repro.sim import Move, Wait, WaitBlock, run_single_agent, wait_rounds
+from repro.sim import Move, WaitBlock, run_single_agent, wait_rounds
 
 
 def drive(graph, start, algorithm, max_rounds=10**6):

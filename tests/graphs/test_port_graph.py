@@ -1,6 +1,5 @@
 """Unit tests for the port-labeled graph substrate."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import make_universal_algorithm
-from repro.core.profile import REFERENCE, TUNED, tuned_profile
+from repro.core.profile import tuned_profile
 from repro.graphs import (
     oriented_ring,
     oriented_torus,

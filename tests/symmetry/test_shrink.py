@@ -1,6 +1,5 @@
 """Unit tests for Shrink (Definition 3.1)."""
 
-import pytest
 
 from repro.graphs import (
     complete_graph,
