@@ -1,0 +1,485 @@
+"""Frozen pre-refactor engines: the replaced solver/sweep layers, verbatim.
+
+When the three engines were rewired over ``repro.exec`` (see
+docs/execution_core.md), their original solve/replay layers were
+preserved here, byte-for-byte in behavior, as the *old* side of the
+old-vs-new contract:
+
+* ``tests/exec`` fuzzes random instances through both paths and
+  asserts bit-identity of every output field;
+* ``benchmarks/test_bench_exec_core.py`` times both on the standing
+  benchmark grids (448 STICs, 225 schedule cells) and exports the
+  throughput ratio to ``BENCH_exec_core.json`` (regression bar: the
+  unified core must be >= 1.0x).
+
+The trace compiler itself moved unchanged, so these functions consume
+the same :class:`~repro.sim.batch.TraceCompiler` traces the unified
+core does — the comparison isolates exactly the layer the refactor
+replaced.  Do not "fix" or modernize this module: its value is that it
+is the code that shipped before the refactor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, NoReturn
+
+import numpy as np
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.batch import PortTrace, TraceCompiler, _BadPortChoice
+from repro.sim.schedule_adversary import ActivationSchedule, AsyncOutcome
+from repro.sim.scheduler import RendezvousResult, SimulationLimit
+
+_PENDING = object()
+
+
+def _raise_for_stic(exc: Exception, start_round: int) -> NoReturn:
+    if isinstance(exc, _BadPortChoice):
+        raise ValueError(
+            f"agent chose port {exc.port} at a node of degree {exc.degree} "
+            f"(round {exc.clock + start_round})"
+        )
+    raise exc
+
+
+def legacy_solve_meeting(
+    trace_a: PortTrace, trace_b: PortTrace, delta: int, limit: int
+) -> tuple[int, int] | None:
+    """The pre-refactor synchronous meeting solver (np.union1d merge)."""
+    if delta > limit:
+        return None
+    ta = trace_a.times
+    tb = trace_b.times + delta
+    cut_a = int(np.searchsorted(ta, limit, side="right"))
+    cut_b = int(np.searchsorted(tb, limit, side="right"))
+    bp = np.union1d(ta[:cut_a], tb[:cut_b])
+    bp = bp[bp >= delta]
+    if bp.size == 0 or bp[0] != delta:
+        bp = np.concatenate(([delta], bp))
+    pos_a = trace_a.nodes[np.searchsorted(ta, bp, side="right") - 1]
+    pos_b = trace_b.nodes[
+        np.searchsorted(trace_b.times, bp - delta, side="right") - 1
+    ]
+    eq = pos_a == pos_b
+    if not eq.any():
+        return None
+    k = int(np.argmax(eq))
+    return int(bp[k]), int(pos_a[k])
+
+
+def _try_solve(
+    u: int,
+    v: int,
+    delta: int,
+    max_rounds: int,
+    trace_u: PortTrace,
+    trace_v: PortTrace,
+    raise_on_limit: bool,
+) -> Any:
+    limit = min(max_rounds, trace_u.limit, delta + trace_v.limit)
+    hit = legacy_solve_meeting(trace_u, trace_v, delta, int(limit))
+    if hit is not None:
+        t, node = hit
+        return RendezvousResult(
+            met=True,
+            meeting_node=node,
+            meeting_time=t,
+            time_from_later=t - delta,
+            rounds_executed=t,
+            crossings=(),
+            traces=None,
+        )
+    if limit >= max_rounds:
+        if raise_on_limit:
+            raise SimulationLimit(f"no rendezvous within {max_rounds} rounds")
+        return RendezvousResult(
+            met=False,
+            meeting_node=None,
+            meeting_time=None,
+            time_from_later=None,
+            rounds_executed=max_rounds,
+            crossings=(),
+            traces=None,
+        )
+    err_u = trace_u.limit if trace_u.error is not None else math.inf
+    err_v = delta + trace_v.limit if trace_v.error is not None else math.inf
+    nearest = min(err_u, err_v)
+    if nearest <= limit and nearest < max_rounds:
+        if err_u <= err_v:
+            _raise_for_stic(trace_u.error, 0)
+        _raise_for_stic(trace_v.error, delta)
+    return _PENDING
+
+
+def legacy_run_rendezvous_batch(
+    graph: PortLabeledGraph,
+    stics: Iterable,
+    algorithm: Callable,
+    *,
+    max_rounds: int | Callable[[int, int, int], int],
+    oracle_factory: Callable[[int], object] | None = None,
+    raise_on_limit: bool = False,
+    compiler: TraceCompiler | None = None,
+    initial_horizon: int = 1024,
+) -> list[RendezvousResult]:
+    """The pre-refactor batched STIC sweep, loop and all."""
+    items: list[tuple[int, int, int]] = []
+    for s in stics:
+        if isinstance(s, tuple):
+            u, v, delta = s
+        else:
+            u, v, delta = s.u, s.v, s.delta
+        if delta < 0:
+            raise ValueError(f"delay must be non-negative, got {delta}")
+        items.append((int(u), int(v), int(delta)))
+    budgets: list[int] = []
+    for u, v, delta in items:
+        m = max_rounds(u, v, delta) if callable(max_rounds) else max_rounds
+        if m < 0:
+            raise ValueError("max_rounds must be non-negative")
+        budgets.append(int(m))
+    if compiler is None:
+        compiler = TraceCompiler(graph, algorithm, oracle_factory=oracle_factory)
+
+    need: dict[int, int] = {}
+    for (u, v, delta), m in zip(items, budgets):
+        need[u] = max(need.get(u, 0), m)
+        if m - delta >= 0:
+            need[v] = max(need.get(v, 0), m - delta)
+
+    results: list[RendezvousResult | None] = [None] * len(items)
+    pending = list(range(len(items)))
+    cap = max(need.values(), default=0)
+    horizon = min(cap, max(initial_horizon, 1))
+    while pending:
+        starts = set()
+        for i in pending:
+            u, v, delta = items[i]
+            starts.update((u, v))
+        traces = compiler.traces(
+            {s: min(horizon, need[s]) for s in starts if s in need}
+        )
+        still: list[int] = []
+        for i in pending:
+            u, v, delta = items[i]
+            if delta > budgets[i]:
+                tu = traces[u]
+                if tu.error is not None and tu.limit < budgets[i]:
+                    _raise_for_stic(tu.error, 0)
+                if not tu.complete and tu.valid_through < budgets[i]:
+                    still.append(i)
+                    continue
+                if raise_on_limit:
+                    raise SimulationLimit(
+                        f"no rendezvous within {budgets[i]} rounds"
+                    )
+                results[i] = RendezvousResult(
+                    met=False,
+                    meeting_node=None,
+                    meeting_time=None,
+                    time_from_later=None,
+                    rounds_executed=budgets[i],
+                    crossings=(),
+                    traces=None,
+                )
+                continue
+            outcome = _try_solve(
+                u, v, delta, budgets[i], traces[u], traces[v], raise_on_limit
+            )
+            if outcome is _PENDING:
+                still.append(i)
+            else:
+                results[i] = outcome
+        pending = still
+        if pending:
+            if horizon >= cap:
+                raise AssertionError("batch horizon exhausted with STICs pending")
+            horizon = min(cap, horizon * 4)
+    return results  # type: ignore[return-value]
+
+
+def _raise_for_async(exc: Exception, node: int) -> NoReturn:
+    if isinstance(exc, _BadPortChoice):
+        raise ValueError(f"invalid port {exc.port} at node {node}")
+    raise exc
+
+
+def _first_error_event(cum: np.ndarray, agent: int, trace: PortTrace) -> float:
+    if trace.error is None:
+        return math.inf
+    pulls = np.flatnonzero(
+        (cum[1:, agent] > cum[:-1, agent]) & (cum[:-1, agent] == trace.moves)
+    )
+    return int(pulls[0]) if pulls.size else math.inf
+
+
+def legacy_try_solve_cell(
+    cum: np.ndarray,
+    budget: int,
+    trace_u: PortTrace,
+    trace_v: PortTrace,
+) -> Any:
+    """The pre-refactor asynchronous cell resolver."""
+    cap_a = budget + 1 if trace_u.complete else trace_u.moves
+    cap_b = budget + 1 if trace_v.complete else trace_v.moves
+    exceed = (cum[:, 0] > cap_a) | (cum[:, 1] > cap_b)
+    e_valid = int(np.argmax(exceed)) - 1 if bool(exceed.any()) else budget
+    ca = np.minimum(cum[: e_valid + 1, 0], trace_u.moves)
+    cb = np.minimum(cum[: e_valid + 1, 1], trace_v.moves)
+    pos_a = trace_u.nodes[ca]
+    pos_b = trace_v.nodes[cb]
+    eq = pos_a == pos_b
+    met = bool(eq.any())
+    k = int(np.argmax(eq)) if met else None
+
+    candidates = []
+    for agent, trace in ((0, trace_u), (1, trace_v)):
+        event = _first_error_event(cum, agent, trace)
+        if not math.isinf(event):
+            kind = 1 if isinstance(trace.error, _BadPortChoice) else 0
+            candidates.append((event, kind, agent, trace))
+    nearest = min(candidates, key=lambda c: c[:3]) if candidates else None
+
+    def crossings_before(stop: int) -> int:
+        moved_a = ca[1:] > ca[:-1]
+        moved_b = cb[1:] > cb[:-1]
+        swap = (
+            (pos_a[1:] == pos_b[:-1])
+            & (pos_b[1:] == pos_a[:-1])
+            & (pos_a[:-1] != pos_b[:-1])
+        )
+        return int((moved_a & moved_b & swap)[:stop].sum())
+
+    if met and (nearest is None or k <= nearest[0]):
+        return AsyncOutcome(True, int(pos_a[k]), k, crossings_before(k))
+    if nearest is not None and nearest[0] <= e_valid:
+        _raise_for_async(nearest[3].error, int(nearest[3].nodes[-1]))
+    if not met and e_valid >= budget:
+        return AsyncOutcome(False, None, budget, crossings_before(budget))
+    return _PENDING
+
+
+def legacy_run_schedule_sweep(
+    graph: PortLabeledGraph,
+    cells: Iterable,
+    algorithm: Callable,
+    *,
+    max_events: int | Callable[[int, int, ActivationSchedule], int],
+    compiler: TraceCompiler | None = None,
+    fuel: int = 1 << 16,
+    initial_horizon: int = 1024,
+) -> list[AsyncOutcome]:
+    """The pre-refactor batched (pair x schedule) sweep, loop and all."""
+    items: list[tuple[int, int, ActivationSchedule]] = []
+    for cell in cells:
+        if isinstance(cell, tuple):
+            u, v, schedule = cell
+        else:
+            u, v, schedule = cell.u, cell.v, cell.schedule
+        if not isinstance(schedule, ActivationSchedule):
+            raise TypeError(f"expected an ActivationSchedule, got {schedule!r}")
+        items.append((int(u), int(v), schedule))
+    budgets: list[int] = []
+    for u, v, schedule in items:
+        m = max_events(u, v, schedule) if callable(max_events) else max_events
+        if m < 0:
+            raise ValueError("max_events must be non-negative")
+        budgets.append(int(m))
+    if compiler is None:
+        compiler = TraceCompiler(graph, algorithm)
+
+    cums: dict[tuple[int, int], np.ndarray] = {}
+    for (u, v, schedule), budget in zip(items, budgets):
+        key = (id(schedule), budget)
+        if key not in cums:
+            cums[key] = schedule.cumulative_moves(budget)
+
+    results: list[AsyncOutcome | None] = [None] * len(items)
+    pending = list(range(len(items)))
+    traces: dict[int, PortTrace] = {}
+    horizon = max(initial_horizon, 1)
+    while pending:
+        need_moves: dict[int, int] = {}
+        for i in pending:
+            u, v, schedule = items[i]
+            cum = cums[(id(schedule), budgets[i])]
+            need_moves[u] = max(need_moves.get(u, 0), int(cum[budgets[i], 0]))
+            need_moves[v] = max(need_moves.get(v, 0), int(cum[budgets[i], 1]))
+        growing = {
+            s
+            for s, n in need_moves.items()
+            if s not in traces
+            or not (
+                traces[s].complete
+                or traces[s].error is not None
+                or traces[s].moves >= n
+            )
+        }
+        if growing:
+            traces.update(compiler.traces({s: horizon for s in growing}))
+            for s in growing:
+                trace = traces[s]
+                if (
+                    not trace.complete
+                    and trace.error is None
+                    and trace.moves < need_moves[s]
+                    and trace.tail_waits >= fuel
+                ):
+                    raise RuntimeError(
+                        "agent produced no move within the fuel limit"
+                    )
+        still: list[int] = []
+        for i in pending:
+            u, v, schedule = items[i]
+            outcome = legacy_try_solve_cell(
+                cums[(id(schedule), budgets[i])], budgets[i], traces[u], traces[v]
+            )
+            if outcome is _PENDING:
+                still.append(i)
+            else:
+                results[i] = outcome
+        pending = still
+        horizon *= 4
+    return results  # type: ignore[return-value]
+
+
+class LegacyDartWalkTable:
+    """The pre-refactor UXS transition tables (direct numpy, no backend)."""
+
+    __slots__ = (
+        "graph",
+        "bound",
+        "transitions",
+        "max_degree",
+        "port_step",
+        "dart_entry",
+        "dart_degree",
+    )
+
+    def __init__(self, graph: PortLabeledGraph, bound: int) -> None:
+        n = graph.n
+        succ = graph.succ_node_array
+        entry = graph.succ_port_array
+        md = succ.shape[1]
+        degrees = graph.degrees
+
+        node_of = np.repeat(np.arange(n), md)
+        port_of = np.tile(np.arange(md), n)
+        deg_of = degrees[node_of]
+        valid = port_of < deg_of
+        safe_deg = np.maximum(deg_of, 1)
+        offsets = np.arange(bound, dtype=np.int64)[:, None]
+        ports = (port_of[None, :] + offsets) % safe_deg[None, :]
+        flat_succ = succ.reshape(-1)
+        flat_entry = entry.reshape(-1)
+        source = node_of[None, :] * md + ports
+        table = flat_succ[source] * md + flat_entry[source]
+        table[:, ~valid] = 0
+        self.graph = graph
+        self.bound = bound
+        self.max_degree = md
+        self.transitions = np.ascontiguousarray(table)
+        self.port_step = np.where(
+            flat_succ >= 0, flat_succ * md + flat_entry, 0
+        )
+        self.dart_entry = port_of
+        self.dart_degree = safe_deg
+
+    def start_darts(self) -> np.ndarray:
+        graph = self.graph
+        succ = graph.succ_node_array
+        entry = graph.succ_port_array
+        return succ[:, 0] * self.max_degree + entry[:, 0]
+
+    def step_direct(
+        self, darts: np.ndarray, offset: int, out: np.ndarray
+    ) -> None:
+        entry = self.dart_entry[darts]
+        ports = (entry + offset) % self.dart_degree[darts]
+        np.take(self.port_step, darts - entry + ports, out=out)
+
+
+def legacy_apply_uxs_all(graph: PortLabeledGraph, seq) -> np.ndarray:
+    """The pre-refactor all-starts UXS walk."""
+    n = graph.n
+    if n == 1:
+        return np.zeros((1, 1), dtype=np.int64)
+    offsets = np.asarray(seq, dtype=np.int64)
+    if offsets.ndim != 1:
+        raise ValueError("UXS must be a flat sequence of offsets")
+    if len(offsets) and int(offsets.min()) < 0:
+        raise ValueError("UXS offsets must be non-negative")
+    table = LegacyDartWalkTable(graph, max(2 * n, 2))
+    md = table.max_degree
+    steps = len(offsets)
+    darts = np.empty((steps + 1, n), dtype=np.int64)
+    darts[0] = table.start_darts()
+    transitions = table.transitions
+    in_table = offsets < table.bound
+    for k in range(steps):
+        if in_table[k]:
+            np.take(transitions[offsets[k]], darts[k], out=darts[k + 1])
+        else:
+            table.step_direct(darts[k], int(offsets[k]), darts[k + 1])
+    nodes = np.empty((n, steps + 2), dtype=np.int64)
+    nodes[:, 0] = np.arange(n)
+    nodes[:, 1:] = (darts // md).T
+    return nodes
+
+
+def legacy_covered_counts(
+    graph: PortLabeledGraph,
+    seq,
+    *,
+    chunk: int = 512,
+    stop_when_all_covered: bool = True,
+) -> np.ndarray:
+    """The pre-refactor multi-start coverage walk."""
+    n = graph.n
+    if n == 1:
+        return np.ones(1, dtype=np.int64)
+    table = LegacyDartWalkTable(graph, max(2 * n, 2))
+    md = table.max_degree
+    transitions = table.transitions
+
+    visited = np.zeros((n, n), dtype=bool)
+    lanes = np.arange(n)
+    visited[lanes, lanes] = True
+
+    darts = table.start_darts()
+    visited[lanes, darts // md] = True
+    if stop_when_all_covered and visited.all():
+        return visited.sum(axis=1)
+
+    buffer = np.empty((chunk, n), dtype=np.int64)
+    lane_base = lanes * n
+    visited_flat = visited.reshape(-1)
+    position = 0
+    total = len(seq)
+    while position < total:
+        size = min(chunk, total - position)
+        offsets = np.asarray(seq[position : position + size], dtype=np.int64)
+        if len(offsets) and int(offsets.min()) < 0:
+            raise ValueError("UXS offsets must be non-negative")
+        previous = darts
+        if int(offsets.max()) < table.bound:
+            for k in range(size):
+                np.take(transitions[offsets[k]], previous, out=buffer[k])
+                previous = buffer[k]
+        else:
+            in_table = offsets < table.bound
+            for k in range(size):
+                if in_table[k]:
+                    np.take(transitions[offsets[k]], previous, out=buffer[k])
+                else:
+                    table.step_direct(previous, int(offsets[k]), buffer[k])
+                previous = buffer[k]
+        darts = buffer[size - 1].copy()
+        position += size
+        visited_flat[
+            (buffer[:size] // md + lane_base[None, :]).reshape(-1)
+        ] = True
+        if stop_when_all_covered and visited_flat.all():
+            break
+    return visited.sum(axis=1)

@@ -1,0 +1,230 @@
+"""Unified execution core vs the frozen pre-refactor engines.
+
+The refactor acceptance benchmark: on the two standing sweep grids —
+the 448-STIC synchronous ring sweep and the 225-cell asynchronous
+(pair x schedule) grid — the engines rewired over :mod:`repro.exec`
+must be at least as fast as the pre-refactor solver/sweep layers
+preserved verbatim in ``_legacy_engines.py``, with bit-identical
+results on every cell.
+
+Both sides share one pre-warmed :class:`TraceCompiler`, so compile
+cost (unchanged by the refactor) is excluded and the timing isolates
+exactly the replaced layer: meeting solvers + adaptive deepening.
+Timings are best-of-N minima.  Consolidated ratios land in
+``BENCH_exec_core.json`` (cwd) — ``{workload: {cells, legacy_s,
+unified_s, ratio}}`` — uploaded by the CI benchmarks job; the bar is
+``ratio >= 1.0`` on both grids.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import _legacy_engines as legacy
+from conftest import emit
+
+from repro.core import (
+    TUNED,
+    UniversalOracle,
+    make_universal_algorithm,
+    universal_stic_budget,
+)
+from repro.core.profile import tuned_profile
+from repro.experiments.records import ExperimentRecord
+from repro.graphs import oriented_ring
+from repro.sim.batch import TraceCompiler, run_rendezvous_batch
+from repro.sim.schedule_adversary import (
+    EagerSchedule,
+    FixedDelaySchedule,
+    MirrorSchedule,
+    RandomSchedule,
+    run_schedule_sweep,
+)
+from repro.symmetry import classify_stic, symmetric_pairs
+
+_EXPORT = Path("BENCH_exec_core.json")
+_REPEATS = 7
+
+
+def record_numbers(workload: str, payload: dict) -> None:
+    """Merge one workload's numbers into the consolidated JSON export."""
+    data = {}
+    if _EXPORT.exists():
+        try:
+            data = json.loads(_EXPORT.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[workload] = payload
+    _EXPORT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, repeats=_REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _sync_grid():
+    """The 448-STIC ring sweep of the PR-1 acceptance benchmark."""
+    graph = oriented_ring(8)
+    stics, budgets = [], {}
+    for u in range(graph.n):
+        for v in range(u + 1, graph.n):
+            for delta in range(16):
+                verdict = classify_stic(graph, u, v, delta)
+                stics.append((u, v, delta))
+                budgets[(u, v, delta)] = universal_stic_budget(
+                    TUNED, graph.n, verdict, delta
+                )
+    return graph, stics, budgets
+
+
+def _async_grid():
+    """The 225-cell (symmetric pair x schedule) grid of the PR-2
+    acceptance benchmark."""
+    graph = oriented_ring(10)
+    schedules = [
+        MirrorSchedule(),
+        EagerSchedule(),
+        FixedDelaySchedule(2),
+        RandomSchedule(0),
+        RandomSchedule(1),
+    ]
+    cells = [(u, v, s) for u, v in symmetric_pairs(graph) for s in schedules]
+    return graph, cells
+
+
+def test_exec_core_vs_legacy_engines():
+    record = ExperimentRecord(
+        exp_id="BENCH-EXEC-CORE",
+        title="Unified execution core vs frozen pre-refactor engines",
+        paper_claim=(
+            "one shared trace IR replayed as array gathers serves both "
+            "sweep engines without giving back the batched speedups"
+        ),
+        columns=["workload", "cells", "legacy s", "unified s", "ratio"],
+    )
+
+    # -- synchronous: 448-STIC ring sweep ------------------------------
+    graph, stics, budgets = _sync_grid()
+    algorithm = make_universal_algorithm(TUNED)
+    compiler = TraceCompiler(
+        graph,
+        algorithm,
+        oracle_factory=lambda s: UniversalOracle(graph, s, TUNED),
+    )
+    max_rounds = lambda u, v, delta: budgets[(u, v, delta)]  # noqa: E731
+    run_rendezvous_batch(
+        graph, stics, algorithm, max_rounds=max_rounds, compiler=compiler
+    )  # pre-warm: compile cost is shared and excluded
+
+    unified_s, new = _best_of(
+        lambda: run_rendezvous_batch(
+            graph, stics, algorithm, max_rounds=max_rounds, compiler=compiler
+        )
+    )
+    legacy_s, old = _best_of(
+        lambda: legacy.legacy_run_rendezvous_batch(
+            graph, stics, algorithm, max_rounds=max_rounds, compiler=compiler
+        )
+    )
+    assert new == old  # bit-identical results, every field of every STIC
+    sync_ratio = legacy_s / unified_s
+    record.add_row(
+        workload="sync ring n=8",
+        cells=len(stics),
+        **{
+            "legacy s": round(legacy_s, 4),
+            "unified s": round(unified_s, 4),
+            "ratio": round(sync_ratio, 2),
+        },
+    )
+    record_numbers(
+        "sync_448_stics",
+        {
+            "cells": len(stics),
+            "legacy_s": round(legacy_s, 4),
+            "unified_s": round(unified_s, 4),
+            "ratio": round(sync_ratio, 3),
+        },
+    )
+
+    # -- asynchronous: 225-cell schedule grid --------------------------
+    graph, cells = _async_grid()
+    algorithm = make_universal_algorithm(
+        tuned_profile(view_mode="faithful", name="bench-exec-async")
+    )
+    compiler = TraceCompiler(graph, algorithm)
+    run_schedule_sweep(
+        graph, cells, algorithm, max_events=1200, compiler=compiler
+    )  # pre-warm
+
+    unified_s, new = _best_of(
+        lambda: run_schedule_sweep(
+            graph, cells, algorithm, max_events=1200, compiler=compiler
+        )
+    )
+    legacy_s, old = _best_of(
+        lambda: legacy.legacy_run_schedule_sweep(
+            graph, cells, algorithm, max_events=1200, compiler=compiler
+        )
+    )
+    assert new == old
+    async_ratio = legacy_s / unified_s
+    record.add_row(
+        workload="async ring n=10",
+        cells=len(cells),
+        **{
+            "legacy s": round(legacy_s, 4),
+            "unified s": round(unified_s, 4),
+            "ratio": round(async_ratio, 2),
+        },
+    )
+    record_numbers(
+        "async_225_cells",
+        {
+            "cells": len(cells),
+            "legacy_s": round(legacy_s, 4),
+            "unified_s": round(unified_s, 4),
+            "ratio": round(async_ratio, 3),
+        },
+    )
+
+    record.passed = sync_ratio >= 1.0 and async_ratio >= 1.0
+    record.measured_summary = (
+        f"unified core at {sync_ratio:.2f}x legacy on {len(stics)} sync "
+        f"STICs and {async_ratio:.2f}x on {len(cells)} async cells, "
+        "bit-identical outcomes on every cell of both grids"
+    )
+    emit(record)
+    assert sync_ratio >= 1.0, (legacy_s, unified_s)
+    assert async_ratio >= 1.0, (legacy_s, unified_s)
+
+
+def test_exec_core_throughput(benchmark):
+    """Raw unified-core throughput on the sync grid (timing table)."""
+    graph, stics, budgets = _sync_grid()
+    algorithm = make_universal_algorithm(TUNED)
+    compiler = TraceCompiler(
+        graph,
+        algorithm,
+        oracle_factory=lambda s: UniversalOracle(graph, s, TUNED),
+    )
+
+    def run():
+        return run_rendezvous_batch(
+            graph,
+            stics,
+            algorithm,
+            max_rounds=lambda u, v, delta: budgets[(u, v, delta)],
+            compiler=compiler,
+        )
+
+    results = benchmark(run)
+    assert sum(r.met for r in results) == sum(
+        1 for u, v, delta in stics if classify_stic(graph, u, v, delta).feasible
+    )

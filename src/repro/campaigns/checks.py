@@ -19,7 +19,15 @@ reference, on the same seeded instance:
   (:func:`view_classes`, :func:`shrink_witness`) vs the retained
   scalar refinement/BFS references, plus witness validity;
 * ``differential/uxs-cover`` — the vectorized multi-start UXS
-  certifier vs the scalar per-start walks, on growing prefixes.
+  certifier vs the scalar per-start walks, on growing prefixes;
+* ``differential/hardness-word`` — :func:`repro.hardness.batch.
+  simulate_word_batch` vs the scalar :func:`simulate_word` reference,
+  over seeded oblivious words (STAY included) and all later starts;
+* ``differential/baselines`` — the baseline family against its scalar
+  references: the asymm-only variant batch-vs-scalar at a shared
+  budget, ``wait_for_mommy`` vs a rescan of the vectorized all-starts
+  walk matrix, leader-election coherence on traced runs, and the
+  random-walk sweep aggregate vs per-trial recomputation.
 
 **metamorphic** — invariance properties no reference implementation
 is needed for:
@@ -29,7 +37,11 @@ is needed for:
   feasibility verdicts must map through it unchanged;
 * ``metamorphic/port-relabel`` — permuting port labels preserves the
   underlying graph: distances and degrees are invariant, ``Shrink <=
-  dist`` still holds, and verdicts stay coherent with Corollary 3.1.
+  dist`` still holds, and verdicts stay coherent with Corollary 3.1;
+* ``metamorphic/uxs-relabel`` — UXS coverage counts are equivariant
+  under node permutation for arbitrary streams, and a sequence
+  certified universal for the whole class of tiny-``n`` graphs keeps
+  its verdict on every port-relabeled image.
 
 **statistical** — ``statistical/meeting-time`` sweeps seeded agents
 over random STICs and validates meeting-time summaries against hard
@@ -45,8 +57,22 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.uxs import apply_uxs, is_uxs_for_graph_scalar
+from repro.baselines import (
+    elect_leader,
+    make_asymm_only_algorithm,
+    mean_meeting_time,
+    random_walk_rendezvous,
+    wait_for_mommy,
+)
+from repro.core.profile import TUNED
+from repro.core.universal import UniversalOracle
+from repro.core.uxs import (
+    apply_uxs,
+    is_uxs_for_graph_scalar,
+    minimal_verified_uxs,
+)
 from repro.core.uxs_engine import (
+    apply_uxs_all,
     covered_counts,
     generate_offset_stream,
     is_uxs_for_graph_vectorized,
@@ -55,6 +81,8 @@ from repro.experiments.scenarios import build_graph
 from repro.graphs.builders import relabel_ports
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.graphs.random_graphs import random_port_permutation
+from repro.hardness.batch import simulate_word_batch
+from repro.hardness.lower_bound import STAY, simulate_word
 from repro.sim.actions import Move, Wait, WaitBlock
 from repro.sim.batch import run_rendezvous_batch
 from repro.sim.schedule_adversary import (
@@ -392,6 +420,192 @@ def _check_uxs_cover(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
     )
 
 
+def _check_hardness_word(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "hardness-word", seed))
+    # Letters valid at every node: ports below the minimum degree, plus
+    # the explicit STAY symbol of the oblivious-word model.
+    letters = list(range(int(graph.degrees.min()))) + [STAY]
+    word = tuple(
+        letters[rng.randrange(len(letters))] for _ in range(rng.randrange(6) + 3)
+    )
+    u = rng.randrange(n)
+    starts = list(range(n))
+    comparisons = 0
+    met = 0
+    for delta in range(int(knobs["max_deltas"]) + 1):
+        budget = 4 * n + 2 * len(word) + delta
+        batch = simulate_word_batch(graph, word, u, starts, delta, budget)
+        for v, got in zip(starts, batch):
+            want = simulate_word(graph, word, u, v, delta, budget).meeting_time
+            comparisons += 1
+            if got != want:
+                return CheckResult(
+                    ok=False,
+                    comparisons=comparisons,
+                    detail=(
+                        f"word {word} from ({u},{v}) delta={delta}: batch "
+                        f"meeting {got!r} != scalar {want!r}"
+                    ),
+                )
+            met += got is not None
+    return CheckResult(
+        ok=True,
+        comparisons=comparisons,
+        summary={"word_len": len(word), "starts": len(starts), "met": met},
+    )
+
+
+def _mommy_from_walk(walk, waiter: int, delta: int) -> tuple:
+    """Recompute a :func:`wait_for_mommy` outcome from a leader walk
+    (the scan of the scalar baseline, fed a vectorized walk row)."""
+    for step, node in enumerate(walk):
+        t = step  # leader is earlier: its start round is 0
+        if int(node) == waiter and t >= delta:
+            return (True, t, t - delta, step)
+    if int(walk[-1]) == waiter:
+        t = max(len(walk) - 1, delta)
+        return (True, t, t - delta, len(walk) - 1)
+    return (False, None, None, None)
+
+
+def _check_baselines(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "baselines", seed))
+    comparisons = 0
+    budget = 8 * n + 32
+    pairs = _sample_pairs(n, rng, int(knobs["max_pairs"]), distinct=True)
+
+    # 1. Asymm-only variant: batched engine vs scalar scheduler at a
+    # shared truncating budget (oracle view mode on both paths).
+    algorithm = make_asymm_only_algorithm(TUNED)
+    oracle_factory = lambda start: UniversalOracle(graph, start, TUNED)  # noqa: E731
+    stics = [(u, v, rng.randrange(3)) for u, v in pairs]
+    batch = run_rendezvous_batch(
+        graph,
+        stics,
+        algorithm,
+        max_rounds=budget,
+        oracle_factory=oracle_factory,
+    )
+    for (u, v, delta), got in zip(stics, batch):
+        want = run_rendezvous(
+            graph,
+            u,
+            v,
+            delta,
+            algorithm,
+            max_rounds=budget,
+            oracles=(oracle_factory(u), oracle_factory(v)),
+        )
+        comparisons += 1
+        for field in ("met", "meeting_node", "meeting_time", "time_from_later"):
+            if getattr(got, field) != getattr(want, field):
+                return CheckResult(
+                    ok=False,
+                    comparisons=comparisons,
+                    detail=(
+                        f"asymm-only STIC [({u},{v}),{delta}]: batch "
+                        f"{field}={getattr(got, field)!r} != scalar "
+                        f"{getattr(want, field)!r}"
+                    ),
+                )
+
+    # 2. Wait-for-Mommy: the scalar baseline vs a rescan of the
+    # vectorized all-starts walk matrix row.
+    stream = [
+        int(a)
+        for a in generate_offset_stream(
+            derive_seed("campaign-baseline-walk", seed), max(2 * n, 2), 48 * n
+        )
+    ]
+    walks = apply_uxs_all(graph, stream)
+    for leader, waiter in pairs:
+        delta = rng.randrange(3)
+        got = wait_for_mommy(graph, leader, waiter, delta, stream)
+        want = _mommy_from_walk(walks[leader], waiter, delta)
+        comparisons += 1
+        if (got.met, got.meeting_time, got.time_from_later, got.leader_steps) != want:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"wait-for-mommy ({leader}->{waiter}, delta={delta}): "
+                    f"scalar {got!r} != vectorized-walk rescan {want!r}"
+                ),
+            )
+
+    # 3. Leader election: the reduction must be deterministic and
+    # decide strictly before the meeting it is derived from.
+    elections = 0
+    for u, v in pairs:
+        result = run_rendezvous(
+            graph,
+            u,
+            v,
+            rng.randrange(3),
+            seeded_agent(seed),
+            max_rounds=budget,
+            record_traces=True,
+        )
+        if not result.met:
+            continue
+        comparisons += 1
+        election = elect_leader(result)
+        elections += 1
+        if not (
+            election.leader in (0, 1)
+            and 0 <= election.decided_at < result.meeting_time
+            and election == elect_leader(result)
+        ):
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=f"leader election incoherent for ({u},{v}): {election!r}",
+            )
+
+    # 4. Random-walk baseline: the sweep aggregate vs a per-trial
+    # recomputation from the same derived seeds.
+    u, v = pairs[0]
+    delta = rng.randrange(3)
+    trials = 5
+    horizon = 16 * n + delta
+    mean, failures = mean_meeting_time(
+        graph, u, v, delta, trials=trials, seed=seed, max_rounds=horizon
+    )
+    times = []
+    for trial in range(trials):
+        outcome = random_walk_rendezvous(
+            graph, u, v, delta, seed=derive_seed(seed, trial), max_rounds=horizon
+        )
+        if outcome.met:
+            times.append(outcome.time_from_later)
+    want_mean = sum(times) / len(times) if times else float("inf")
+    want_failures = trials - len(times)
+    comparisons += 1
+    if (mean, failures) != (want_mean, want_failures):
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail=(
+                f"random-walk mean ({u},{v},{delta}): sweep "
+                f"({mean}, {failures}) != recomputed "
+                f"({want_mean}, {want_failures})"
+            ),
+        )
+    return CheckResult(
+        ok=True,
+        comparisons=comparisons,
+        summary={
+            "asymm_stics": len(stics),
+            "elections": elections,
+            "rw_mean": mean if math.isfinite(mean) else None,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Metamorphic checks
 # ---------------------------------------------------------------------------
@@ -498,6 +712,82 @@ def _check_port_relabel(graph_spec: dict, seed: int, knobs: dict) -> CheckResult
     return CheckResult(ok=True, comparisons=comparisons, summary={"n": n})
 
 
+def _check_uxs_relabel(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "uxs-relabel", seed))
+    stream = tuple(
+        int(a)
+        for a in generate_offset_stream(
+            derive_seed("campaign-uxs-relabel", seed), max(2 * n, 2), 48 * n
+        )
+    )
+    comparisons = 0
+
+    # Node relabeling is a port-preserving isomorphism: any offset
+    # stream's coverage counts must map through the permutation
+    # unchanged, start by start (equivariance, not mere invariance).
+    perm = random_port_permutation(n, rng)
+    image = _permuted_graph(graph, perm)
+    counts = covered_counts(graph, stream)
+    counts2 = covered_counts(image, stream)
+    for u in range(n):
+        comparisons += 1
+        if int(counts[u]) != int(counts2[perm[u]]):
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"coverage from start {u} changed under node "
+                    f"relabeling: {int(counts[u])} != "
+                    f"{int(counts2[perm[u]])} from {perm[u]}"
+                ),
+            )
+    comparisons += 1
+    if is_uxs_for_graph_vectorized(graph, stream) != is_uxs_for_graph_vectorized(
+        image, stream
+    ):
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail="UXS verdict changed under node relabeling",
+        )
+
+    # Port relabeling changes the walks, so per-stream coverage may
+    # legitimately change — but a sequence certified universal for the
+    # *class* of n-node graphs (exhaustively, so only for tiny n) must
+    # keep its verdict on every relabeled image.
+    certified_n = None
+    max_uxs_n = min(int(knobs.get("max_uxs_n", 4)), 4)
+    if 1 < n <= max_uxs_n:
+        certified = minimal_verified_uxs(n)
+        permutations = {
+            v: dict(enumerate(random_port_permutation(graph.degree(v), rng)))
+            for v in range(n)
+        }
+        for target in (graph, image, relabel_ports(graph, permutations)):
+            comparisons += 1
+            if not is_uxs_for_graph_vectorized(target, certified):
+                return CheckResult(
+                    ok=False,
+                    comparisons=comparisons,
+                    detail=(
+                        f"certified UXS for n={n} lost universality "
+                        "under relabeling"
+                    ),
+                )
+        certified_n = n
+    return CheckResult(
+        ok=True,
+        comparisons=comparisons,
+        summary={
+            "n": n,
+            "stream_len": len(stream),
+            "certified_n": certified_n,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # Statistical check
 # ---------------------------------------------------------------------------
@@ -595,6 +885,19 @@ _CHECKS = [
         _check_uxs_cover,
     ),
     CampaignCheck(
+        "differential/hardness-word",
+        "differential",
+        "batched oblivious-word simulator vs scalar lower-bound reference",
+        _check_hardness_word,
+    ),
+    CampaignCheck(
+        "differential/baselines",
+        "differential",
+        "baseline family (asymm-only, mommy, election, random walk) vs "
+        "scalar references",
+        _check_baselines,
+    ),
+    CampaignCheck(
         "metamorphic/node-relabel",
         "metamorphic",
         "verdicts/Shrink invariant under port-preserving node permutation",
@@ -605,6 +908,13 @@ _CHECKS = [
         "metamorphic",
         "distances/coherence invariant under per-node port permutation",
         _check_port_relabel,
+    ),
+    CampaignCheck(
+        "metamorphic/uxs-relabel",
+        "metamorphic",
+        "UXS coverage equivariant under node permutation; certified "
+        "universality survives port relabeling",
+        _check_uxs_relabel,
     ),
     CampaignCheck(
         "statistical/meeting-time",

@@ -1,0 +1,181 @@
+"""The pluggable array backend behind the execution core.
+
+The engines' replay stage is a small vocabulary of array primitives —
+gathers, scans, sorted merges, reductions — applied to int64/bool
+vectors.  :class:`ArrayBackend` names exactly that vocabulary;
+:class:`NumpyBackend` is the in-process default.  A numba-, JAX- or
+GPU-shaped engine implements the same protocol (arrays may then live
+on a device) and is selected per call via the engines' ``backend``
+parameter, or process-wide through :func:`register_backend` /
+:func:`get_backend`.
+
+Backend arrays are *numpy-like*: they support elementwise arithmetic
+and comparison operators, boolean-mask and integer ("fancy") indexing,
+``.any()`` / ``.all()`` / ``.sum()`` reductions, and ``len()``.  The
+protocol only adds the creation/gather/scan entry points the engines
+call by name.  Conversions back to host ints (``int(...)`` on a
+0-d result) must be cheap for decided cells — the adaptive deepening
+loop promotes a handful of scalars per resolved cell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "Array",
+    "ArrayBackend",
+    "NumpyBackend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+]
+
+#: Alias for "whatever array type the active backend produces".  The
+#: default backend produces :class:`numpy.ndarray`; the annotation is
+#: deliberately loose so device-array backends type-check unchanged.
+Array = Any
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """The array primitives the execution core replays through.
+
+    Implementations must be deterministic: identical inputs produce
+    bit-identical outputs, run to run and backend to backend — the
+    differential harness (``tests/exec``) holds every registered
+    backend to the numpy reference's exact outputs.
+    """
+
+    #: Registry name (``"numpy"``, ``"numba"``, ...).
+    name: str
+
+    # -- creation / conversion -------------------------------------------
+    def asarray(self, values: Any, dtype: Any = None) -> Array:
+        """Convert to a backend array (no copy when already one)."""
+        ...
+
+    def zeros(self, shape: Any, dtype: Any = None) -> Array: ...
+
+    def empty(self, shape: Any, dtype: Any = None) -> Array: ...
+
+    def full(self, shape: Any, fill: Any, dtype: Any = None) -> Array: ...
+
+    def arange(self, *args: Any, dtype: Any = None) -> Array: ...
+
+    def concatenate(self, parts: Any) -> Array: ...
+
+    # -- gathers / scans --------------------------------------------------
+    def take(self, table: Array, indices: Array, out: Array | None = None) -> Array:
+        """``table[indices]`` — the replay stage's one hot gather."""
+        ...
+
+    def searchsorted(self, sorted_arr: Array, values: Any, side: str = "left") -> Array:
+        """Breakpoint lookup into a sorted step-function domain."""
+        ...
+
+    def cumsum(self, values: Array, axis: int = 0, out: Array | None = None) -> Array: ...
+
+    def sort(self, values: Array) -> Array:
+        """Ascending sort (used to merge trace breakpoints)."""
+        ...
+
+    # -- reductions / predicates -----------------------------------------
+    def argmax(self, values: Array) -> int:
+        """Index of the first maximum (first True for bool input)."""
+        ...
+
+    def flatnonzero(self, values: Array) -> Array: ...
+
+    def minimum(self, a: Array, b: Any) -> Array: ...
+
+    def maximum(self, a: Array, b: Any) -> Array: ...
+
+
+class NumpyBackend:
+    """The default, host-memory backend: thin delegation to numpy."""
+
+    name = "numpy"
+
+    def asarray(self, values: Any, dtype: Any = None) -> np.ndarray:
+        return np.asarray(values, dtype=dtype)
+
+    def zeros(self, shape: Any, dtype: Any = None) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def empty(self, shape: Any, dtype: Any = None) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def full(self, shape: Any, fill: Any, dtype: Any = None) -> np.ndarray:
+        return np.full(shape, fill, dtype=dtype)
+
+    def arange(self, *args: Any, dtype: Any = None) -> np.ndarray:
+        return np.arange(*args, dtype=dtype)
+
+    def concatenate(self, parts: Any) -> np.ndarray:
+        return np.concatenate(parts)
+
+    def take(
+        self, table: np.ndarray, indices: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        # ndarray method, not np.take: the free-function route adds two
+        # Python frames per gather, visible on the per-cell hot path.
+        return table.take(indices, out=out)
+
+    def searchsorted(
+        self, sorted_arr: np.ndarray, values: Any, side: str = "left"
+    ) -> np.ndarray:
+        return np.searchsorted(sorted_arr, values, side=side)  # type: ignore[call-overload, no-any-return]
+
+    def cumsum(
+        self, values: np.ndarray, axis: int = 0, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        return np.cumsum(values, axis=axis, out=out)
+
+    def sort(self, values: np.ndarray) -> np.ndarray:
+        return np.sort(values)
+
+    def argmax(self, values: np.ndarray) -> int:
+        return int(np.argmax(values))
+
+    def flatnonzero(self, values: np.ndarray) -> np.ndarray:
+        return np.flatnonzero(values)
+
+    def minimum(self, a: np.ndarray, b: Any) -> np.ndarray:
+        return np.minimum(a, b)
+
+    def maximum(self, a: np.ndarray, b: Any) -> np.ndarray:
+        return np.maximum(a, b)
+
+
+_BACKENDS: dict[str, ArrayBackend] = {"numpy": NumpyBackend()}
+_DEFAULT = "numpy"
+
+
+def register_backend(backend: ArrayBackend) -> None:
+    """Register (or replace) a backend under its ``name``."""
+    if not backend.name:
+        raise ValueError("backend must declare a non-empty name")
+    _BACKENDS[backend.name] = backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, registration order."""
+    return tuple(_BACKENDS)
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Resolve a registered backend by name."""
+    if name not in _BACKENDS:
+        raise KeyError(
+            f"unknown array backend {name!r}; known: {sorted(_BACKENDS)}"
+        )
+    return _BACKENDS[name]
+
+
+def default_backend() -> ArrayBackend:
+    """The process-wide default backend (numpy)."""
+    return _BACKENDS[_DEFAULT]

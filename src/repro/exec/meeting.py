@@ -1,0 +1,267 @@
+"""Meeting detection over compiled port traces.
+
+Both engines ask the same question of the IR — *when do two compiled
+trajectories first coincide?* — under two different clocks:
+
+* **Synchronous** (:func:`solve_sync_meeting`, :func:`resolve_sync_cell`):
+  global rounds; agent 1 starts ``delta`` rounds late; a meeting is
+  the earliest global round ``t`` in ``[delta, limit]`` with
+  ``a(t) == b(t - delta)``.  Solved by merging the two traces'
+  O(#moves) breakpoints, never by stepping rounds.  (Merging keeps
+  duplicates: a repeated breakpoint yields two identical gather rows
+  and ``argmax`` still reports the first — the dedupe pass
+  ``np.union1d`` would add buys nothing.)
+* **Asynchronous** (:func:`resolve_async_cell`): adversary events;
+  positions are gathers of each trace's ``nodes`` array through the
+  schedule's cumulative activation counts; *edge meetings* are events
+  where both agents swap endpoints of one edge.
+
+Each resolver returns its engine's result object, raises exactly as
+the scalar reference would (error binding is part of the contract:
+agent 0 before agent 1, pull-time before apply-time), or returns the
+:data:`PENDING` sentinel when the compiled prefixes are too shallow to
+decide — the signal :func:`repro.exec.deepen.resolve_adaptive` uses to
+deepen traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, NoReturn
+
+from repro.exec.backend import Array, ArrayBackend, default_backend
+from repro.exec.trace import BadPortChoice, PortTrace, raise_for_stic
+from repro.sim.scheduler import RendezvousResult, SimulationLimit
+
+__all__ = [
+    "PENDING",
+    "first_error_event",
+    "raise_for_async",
+    "resolve_async_cell",
+    "resolve_sync_cell",
+    "solve_sync_meeting",
+]
+
+#: Sentinel: the compiled prefixes are too shallow to decide this cell.
+PENDING = object()
+
+#: Memoized ``AsyncOutcome`` class (schedule_adversary is a frontend
+#: over this module, so the import must be deferred — but only once:
+#: the async resolver runs per cell and an inline import statement in
+#: it is measurable on the benchmark grids).
+_ASYNC_OUTCOME: Any = None
+
+
+def _async_outcome_cls() -> Any:
+    global _ASYNC_OUTCOME
+    if _ASYNC_OUTCOME is None:
+        from repro.sim.schedule_adversary import AsyncOutcome
+
+        _ASYNC_OUTCOME = AsyncOutcome
+    return _ASYNC_OUTCOME
+
+
+# ---------------------------------------------------------------------------
+# Synchronous (global rounds, delayed start)
+# ---------------------------------------------------------------------------
+
+
+def solve_sync_meeting(
+    trace_a: PortTrace,
+    trace_b: PortTrace,
+    delta: int,
+    limit: int,
+    backend: ArrayBackend | None = None,
+) -> tuple[int, int] | None:
+    """Earliest ``(t, node)`` with ``a(t) == b(t - delta)``, for global
+    ``t`` in ``[delta, limit]`` inclusive; ``None`` when they never
+    coincide there.  Works on trace breakpoints, not rounds."""
+    if delta > limit:
+        return None
+    xp = backend if backend is not None else default_backend()
+    ta = trace_a.times
+    tb = trace_b.times + delta
+    cut_a = int(xp.searchsorted(ta, limit, side="right"))
+    cut_b = int(xp.searchsorted(tb, limit, side="right"))
+    bp = xp.sort(xp.concatenate((ta[:cut_a], tb[:cut_b])))
+    bp = bp[bp >= delta]
+    if len(bp) == 0 or bp[0] != delta:
+        bp = xp.concatenate(([delta], bp))
+    pos_a = trace_a.nodes[xp.searchsorted(ta, bp, side="right") - 1]
+    pos_b = trace_b.nodes[
+        xp.searchsorted(trace_b.times, bp - delta, side="right") - 1
+    ]
+    eq = pos_a == pos_b
+    if not eq.any():
+        return None
+    k = xp.argmax(eq)
+    return int(bp[k]), int(pos_a[k])
+
+
+def resolve_sync_cell(
+    u: int,
+    v: int,
+    delta: int,
+    max_rounds: int,
+    trace_u: PortTrace,
+    trace_v: PortTrace,
+    raise_on_limit: bool,
+    backend: ArrayBackend | None = None,
+    solver: Any = None,
+) -> Any:  # RendezvousResult, or the PENDING sentinel
+    """Resolve one STIC from (possibly truncated) traces.
+
+    Returns a :class:`RendezvousResult`, raises like the scalar
+    scheduler would, or returns :data:`PENDING` when the compiled
+    horizon is too short to decide.  ``solver`` substitutes the
+    meeting solver (``(trace_a, trace_b, delta, limit) -> hit``) —
+    the mutation-test seam frontends route their module-level solver
+    through.
+    """
+    limit = min(max_rounds, trace_u.limit, delta + trace_v.limit)
+    if solver is None:
+        hit = solve_sync_meeting(trace_u, trace_v, delta, int(limit), backend)
+    else:
+        hit = solver(trace_u, trace_v, delta, int(limit))
+    if hit is not None:
+        t, node = hit
+        return RendezvousResult(
+            met=True,
+            meeting_node=node,
+            meeting_time=t,
+            time_from_later=t - delta,
+            rounds_executed=t,
+            crossings=(),
+            traces=None,
+        )
+    if limit >= max_rounds:
+        if raise_on_limit:
+            raise SimulationLimit(f"no rendezvous within {max_rounds} rounds")
+        return RendezvousResult(
+            met=False,
+            meeting_node=None,
+            meeting_time=None,
+            time_from_later=None,
+            rounds_executed=max_rounds,
+            crossings=(),
+            traces=None,
+        )
+    # No meeting within the compiled region and the budget is not
+    # exhausted: either an agent error binds (scalar would raise when
+    # pulling that round — agent 0 is pulled first on ties), or the
+    # horizon must be deepened.
+    err_u = trace_u.limit if trace_u.error is not None else math.inf
+    err_v = delta + trace_v.limit if trace_v.error is not None else math.inf
+    nearest = min(err_u, err_v)
+    if nearest <= limit and nearest < max_rounds:
+        if err_u <= err_v:
+            raise_for_stic(trace_u.error, 0)
+        raise_for_stic(trace_v.error, delta)
+    return PENDING
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous (adversary events, collapsed waits)
+# ---------------------------------------------------------------------------
+
+
+def raise_for_async(exc: Exception, node: int) -> NoReturn:
+    """Re-raise a compiled agent error as the scalar engine would."""
+    if isinstance(exc, BadPortChoice):
+        raise ValueError(f"invalid port {exc.port} at node {node}")
+    raise exc
+
+
+def first_error_event(
+    cum: Array,
+    agent: int,
+    trace: PortTrace,
+    backend: ArrayBackend | None = None,
+) -> float:
+    """Event at which the schedule would pull this trace's failing
+    decision (the pull after its last compiled move), or ``inf``."""
+    if trace.error is None:
+        return math.inf
+    xp = backend if backend is not None else default_backend()
+    pulls = xp.flatnonzero(
+        (cum[1:, agent] > cum[:-1, agent]) & (cum[:-1, agent] == trace.moves)
+    )
+    return int(pulls[0]) if len(pulls) else math.inf
+
+
+def resolve_async_cell(
+    cum: Array,
+    budget: int,
+    trace_u: PortTrace,
+    trace_v: PortTrace,
+    backend: ArrayBackend | None = None,
+) -> Any:  # AsyncOutcome, or the PENDING sentinel
+    """Resolve one (pair, schedule) cell from (possibly truncated)
+    traces.
+
+    Returns an ``AsyncOutcome``, raises like the scalar engine would,
+    or returns :data:`PENDING` when the compiled prefixes are too
+    shallow to decide the cell.  Positions are exact for every event
+    whose cumulative activation counts stay within both compiled
+    prefixes (a complete trace covers any count: a terminated script
+    simply stops moving), so a meeting found inside that region is the
+    true earliest one.
+    """
+    AsyncOutcome = _ASYNC_OUTCOME or _async_outcome_cls()
+    xp = backend if backend is not None else default_backend()
+    cap_a = budget + 1 if trace_u.complete else trace_u.moves
+    cap_b = budget + 1 if trace_v.complete else trace_v.moves
+    # Cumulative activation counts are monotone, so "no row exceeds the
+    # caps" is decided by the last row alone; the full scan (and its
+    # argmax) is only needed once a cap is actually crossed.
+    if int(cum[budget, 0]) <= cap_a and int(cum[budget, 1]) <= cap_b:
+        e_valid = budget
+    else:
+        exceed = (cum[:, 0] > cap_a) | (cum[:, 1] > cap_b)
+        e_valid = xp.argmax(exceed) - 1
+    # Within the validity slice ``cum <= cap`` holds row by row, so the
+    # clamp to ``moves`` is an identity unless the script terminated
+    # (``cap = budget + 1``) — skip the two array passes otherwise.
+    sl = cum[: e_valid + 1]
+    ca = xp.minimum(sl[:, 0], trace_u.moves) if trace_u.complete else sl[:, 0]
+    cb = xp.minimum(sl[:, 1], trace_v.moves) if trace_v.complete else sl[:, 1]
+    pos_a = xp.take(trace_u.nodes, ca)
+    pos_b = xp.take(trace_v.nodes, cb)
+    eq = pos_a == pos_b
+    met = bool(eq.any())
+    k = xp.argmax(eq) if met else None
+
+    # An agent error binds when its failing pull would execute before
+    # the first node meeting (meetings are checked at the top of each
+    # event, so a meeting at the error's own event wins).  Within one
+    # event the scalar engine raises pull-time script exceptions (both
+    # next_move calls run first) before apply-time invalid-port errors,
+    # agent 0 before agent 1 within each kind.
+    if trace_u.error is None and trace_v.error is None:
+        nearest = None  # fast path: no compiled error to schedule
+    else:
+        candidates = []
+        for agent, trace in ((0, trace_u), (1, trace_v)):
+            event = first_error_event(cum, agent, trace, xp)
+            if not math.isinf(event):
+                kind = 1 if isinstance(trace.error, BadPortChoice) else 0
+                candidates.append((event, kind, agent, trace))
+        nearest = min(candidates, key=lambda c: c[:3]) if candidates else None
+
+    def crossings_before(stop: int) -> int:
+        moved_a = ca[1:] > ca[:-1]
+        moved_b = cb[1:] > cb[:-1]
+        swap = (
+            (pos_a[1:] == pos_b[:-1])
+            & (pos_b[1:] == pos_a[:-1])
+            & (pos_a[:-1] != pos_b[:-1])
+        )
+        return int((moved_a & moved_b & swap)[:stop].sum())
+
+    if met and (nearest is None or k <= nearest[0]):
+        return AsyncOutcome(True, int(pos_a[k]), k, crossings_before(k))
+    if nearest is not None and nearest[0] <= e_valid:
+        raise_for_async(nearest[3].error, int(nearest[3].nodes[-1]))
+    if not met and e_valid >= budget:
+        return AsyncOutcome(False, None, budget, crossings_before(budget))
+    return PENDING

@@ -1,0 +1,508 @@
+"""The trace IR: agent behavior compiled once into port-trace arrays.
+
+A deterministic agent's choices are a pure function of its *perception
+stream* — the same insight that lets :func:`repro.core.uxs.apply_uxs_ports`
+precompute a UXS walk.  :class:`TraceCompiler` exploits it for whole
+ensembles of start nodes: all requested starts advance in lockstep
+through the graph, starts whose perception streams have been identical
+so far form one *class* sharing a single live generator, and the
+decisions are interned in a trie keyed by ``(degree, entry port)`` so
+later compilations replay them with dict lookups instead of agent
+code.  Position updates are one successor-table gather per move event
+for the whole class; wait blocks advance the clock without touching
+positions.
+
+The compiled :class:`PortTrace` is the IR every engine consumes:
+
+* the synchronous STIC sweep reads it as a step function
+  *local clock -> node* (``times``/``nodes`` breakpoints);
+* the asynchronous schedule sweep reads ``nodes`` alone — waits
+  contribute nothing to the async node sequence, so the array *is*
+  the agent's traversal sequence;
+* ``tail_waits`` is the unified fuel gauge: consecutive wait actions
+  since the last move, the quantity both engines' starvation guards
+  meter.
+
+Array construction goes through the :class:`~repro.exec.backend.
+ArrayBackend` protocol so compiled traces land directly in the space
+the replay stage gathers over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, NoReturn
+
+import numpy as np
+
+from repro.exec.backend import Array, ArrayBackend, default_backend
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.actions import Action, Move, Perception, Wait, WaitBlock
+from repro.sim.agent import AgentScript
+
+__all__ = ["BadPortChoice", "PortTrace", "TraceCompiler", "raise_for_stic"]
+
+
+class _Stop:
+    """Sentinel: the agent script terminated (waits in place forever)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<stop>"
+
+
+_STOP = _Stop()
+
+
+class _Raise:
+    """Sentinel: the decision at this trie node raises ``exc``."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: Exception) -> None:
+        self.exc = exc
+
+
+class BadPortChoice(ValueError):
+    """Engine-detected invalid move, kept structured so the re-raise
+    can quote the *global* round of whichever STIC it binds to (the
+    compiled trace only knows the agent's local clock)."""
+
+    def __init__(self, port: int, degree: int, clock: int) -> None:
+        super().__init__(
+            f"agent chose port {port} at a node of degree {degree} "
+            f"(clock {clock})"
+        )
+        self.port = port
+        self.degree = degree
+        self.clock = clock
+
+
+def raise_for_stic(exc: Exception, start_round: int) -> NoReturn:
+    """Re-raise a compiled error as the scalar scheduler would for an
+    agent that starts at global round ``start_round``."""
+    if isinstance(exc, BadPortChoice):
+        raise ValueError(
+            f"agent chose port {exc.port} at a node of degree {exc.degree} "
+            f"(round {exc.clock + start_round})"
+        )
+    raise exc
+
+
+class _TrieNode:
+    """One interned decision: the action yielded after a perception
+    stream, plus the decisions reachable from it keyed by the next
+    ``(degree, entry port)`` pair.  The local clock is *not* part of
+    the key: it is a deterministic function of the action prefix."""
+
+    __slots__ = ("action", "children")
+
+    def __init__(self, action: Action | _Stop | _Raise) -> None:
+        self.action = action
+        self.children: dict[tuple[int, int], _TrieNode] = {}
+
+
+@dataclass(frozen=True)
+class PortTrace:
+    """Compressed trajectory of one agent from one start node.
+
+    ``times``/``nodes`` encode the step function *local clock -> node*:
+    the agent occupies ``nodes[i]`` for clocks in
+    ``[times[i], times[i+1])`` (``times[0] == 0``).  Positions are
+    defined for clocks up to :attr:`valid_through` inclusive — or for
+    every clock when :attr:`complete` (the script terminated).  When
+    :attr:`error` is set, the decision at clock ``valid_through``
+    raised; positions before it are still exact.
+
+    :attr:`tail_waits` counts the consecutive wait *actions* (``Wait``
+    or ``WaitBlock`` yields, regardless of their round spans) at the
+    end of the compiled prefix since the last move.  Consumers that
+    collapse waits (the asynchronous schedule engine) use it as a fuel
+    gauge: a trace that keeps waiting without ever moving again is
+    indistinguishable from one that just has not been compiled deep
+    enough, except by its action count.
+    """
+
+    start: int
+    times: Array
+    nodes: Array
+    valid_through: int
+    complete: bool
+    error: Exception | None = None
+    tail_waits: int = 0
+
+    @property
+    def moves(self) -> int:
+        """Number of traversals in the compiled prefix."""
+        return len(self.nodes) - 1
+
+    @property
+    def limit(self) -> float:
+        """Largest local clock with a defined position (may be inf)."""
+        return math.inf if self.complete else self.valid_through
+
+    def position(self, clock: int) -> int:
+        """Node occupied at local ``clock`` (must be within validity)."""
+        if clock < 0 or clock > self.limit:
+            raise ValueError(f"clock {clock} outside compiled range")
+        i = int(np.searchsorted(self.times, clock, side="right")) - 1
+        return int(self.nodes[i])
+
+
+class _Group:
+    """A set of start nodes whose perception streams agree so far."""
+
+    __slots__ = (
+        "starts",
+        "pos",
+        "entry",
+        "clock",
+        "children",
+        "percepts",
+        "script",
+        "move_clocks",
+        "poslog",
+        "stopped",
+        "error",
+        "error_clock",
+        "tail_waits",
+    )
+
+    def __init__(self, starts: np.ndarray, children: dict) -> None:
+        self.starts = starts
+        self.pos = starts.copy()
+        self.entry = np.full(len(starts), -1, dtype=np.int64)
+        self.clock = 0
+        self.children = children  # current trie level
+        self.percepts: list[Perception] = []
+        self.script: AgentScript | None = None
+        self.move_clocks: list[int] = []
+        self.poslog: list[np.ndarray] = []
+        self.stopped = False
+        self.error: Exception | None = None
+        self.error_clock = 0
+        self.tail_waits = 0
+
+    def split(self, idx: np.ndarray) -> "_Group":
+        sub = _Group.__new__(_Group)
+        sub.starts = self.starts[idx]
+        sub.pos = self.pos[idx]
+        sub.entry = self.entry[idx]
+        sub.clock = self.clock
+        sub.children = self.children
+        sub.percepts = list(self.percepts)
+        sub.script = None
+        sub.move_clocks = list(self.move_clocks)
+        sub.poslog = [arr[idx] for arr in self.poslog]
+        sub.stopped = False
+        sub.error = None
+        sub.error_clock = 0
+        sub.tail_waits = self.tail_waits
+        return sub
+
+
+class TraceCompiler:
+    """Compiles and caches :class:`PortTrace` objects for one
+    ``(graph, algorithm)`` pair; reusable across batch calls — and
+    across *engines*: the synchronous STIC sweep and the asynchronous
+    schedule sweep read the same compiled traces."""
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        algorithm: Callable,
+        *,
+        oracle_factory: Callable[[int], object] | None = None,
+        backend: ArrayBackend | None = None,
+    ) -> None:
+        self._graph = graph
+        self._algorithm = algorithm
+        self._oracle_factory = oracle_factory
+        self._backend = backend if backend is not None else default_backend()
+        self._oracles: dict[int, object] = {}
+        self._trie: dict[tuple[int, int], _TrieNode] = {}
+        self._tries: dict[int, dict] = {}  # per-start roots (oracle mode)
+        self._cache: dict[int, PortTrace] = {}
+        # Plain-list mirrors of the successor tables: python-int indexing
+        # is what the singleton fast path spends its time on.
+        self._deg_list: list[int] = graph.degrees.tolist()
+        self._succ_list: list[list[int]] = graph.succ_node_array.tolist()
+        self._succ_port_list: list[list[int]] = graph.succ_port_array.tolist()
+
+    @property
+    def backend(self) -> ArrayBackend:
+        """The array backend compiled traces are materialized into."""
+        return self._backend
+
+    # -- public -----------------------------------------------------------
+    def trace(self, start: int, horizon: int) -> PortTrace:
+        """Trace of ``start`` valid through local clock ``horizon``."""
+        return self.traces({start: horizon})[start]
+
+    def traces(self, horizons: dict[int, int]) -> dict[int, PortTrace]:
+        """Compile (or reuse) traces for many starts at once.
+
+        ``horizons`` maps start node to the local clock through which
+        its positions must be defined.  All fresh compilations in one
+        call run to the largest requested horizon, in lockstep.
+        """
+        jobs = [
+            s
+            for s, h in horizons.items()
+            if not self._is_sufficient(self._cache.get(s), h)
+        ]
+        if jobs:
+            horizon = max(horizons[s] for s in jobs)
+            starts = sorted(set(jobs))
+            if self._oracle_factory is not None:
+                # Oracles may depend on the start node, so classes never
+                # merge: compile each start alone with a private trie.
+                for s in starts:
+                    self._run_single(s, horizon, self._tries.setdefault(s, {}))
+            elif len(starts) == 1:
+                self._run_single(starts[0], horizon, self._trie)
+            else:
+                group = _Group(np.array(starts, dtype=np.int64), self._trie)
+                self._run_group(group, horizon)
+        return {s: self._cache[s] for s in horizons}
+
+    # -- internals --------------------------------------------------------
+    @staticmethod
+    def _is_sufficient(trace: PortTrace | None, horizon: int) -> bool:
+        if trace is None:
+            return False
+        # An errored trace cannot be extended: the failing decision is
+        # deterministic, so recompiling would stop at the same clock.
+        return (
+            trace.complete
+            or trace.error is not None
+            or trace.valid_through >= horizon
+        )
+
+    def _instantiate(self, wake: Perception, start: int) -> AgentScript:
+        if self._oracle_factory is None:
+            return self._algorithm(wake)
+        if start not in self._oracles:
+            self._oracles[start] = self._oracle_factory(start)
+        return self._algorithm(wake, self._oracles[start])
+
+    def _replay(self, group: _Group, current: Perception) -> AgentScript:
+        """Fresh generator positioned to decide on ``current``."""
+        wake = group.percepts[0] if group.percepts else current
+        script = self._instantiate(wake, int(group.starts[0]))
+        if group.percepts:
+            # Re-feed the recorded stream; by determinism the actions
+            # match the trie, so their values are irrelevant here.
+            next(script)
+            for percept in group.percepts[1:]:
+                script.send(percept)
+        return script
+
+    @staticmethod
+    def _advance(
+        script: AgentScript, percept: Perception, first: bool
+    ) -> Action | _Stop | _Raise:
+        try:
+            action = next(script) if first else script.send(percept)
+        except StopIteration:
+            return _STOP
+        except Exception as exc:  # agent-code failure: deterministic
+            return _Raise(exc)
+        if isinstance(action, Move):
+            if action.port >= percept.degree:
+                return _Raise(
+                    BadPortChoice(action.port, percept.degree, percept.clock)
+                )
+            return action
+        if isinstance(action, (Wait, WaitBlock)):
+            return action
+        return _Raise(
+            TypeError(f"agent yielded {action!r}; expected Move/Wait/WaitBlock")
+        )
+
+    def _replay_keys(
+        self, hist: list[tuple[int, int, int]], current: Perception, start: int
+    ) -> AgentScript:
+        """Fresh generator for the singleton path; perceptions are
+        rebuilt from the recorded ``(degree, entry, clock)`` stream."""
+        if not hist:
+            return self._instantiate(current, start)
+        script = self._instantiate(
+            Perception(degree=hist[0][0], entry_port=None, clock=0), start
+        )
+        next(script)
+        for d, e, c in hist[1:]:
+            script.send(
+                Perception(degree=d, entry_port=(None if e < 0 else e), clock=c)
+            )
+        return script
+
+    def _run_single(self, start: int, horizon: int, children: dict) -> None:
+        """Scalar compile of one start node (the oracle-mode path and
+        the single-start degenerate case of the ensemble stepper)."""
+        deg = self._deg_list
+        succ = self._succ_list
+        succ_port = self._succ_port_list
+        pos, entry, clock = start, -1, 0
+        script: AgentScript | None = None
+        hist: list[tuple[int, int, int]] = []
+        move_clocks: list[int] = []
+        move_pos: list[int] = []
+        stopped = False
+        error: Exception | None = None
+        error_clock = 0
+        tail_waits = 0
+        while clock <= horizon:
+            d = deg[pos]
+            key = (d, entry)
+            node = children.get(key)
+            if node is None or script is not None:
+                percept = Perception(
+                    degree=d, entry_port=(None if entry < 0 else entry), clock=clock
+                )
+                if node is None:
+                    if script is None:
+                        script = self._replay_keys(hist, percept, start)
+                    action = self._advance(script, percept, first=not hist)
+                    node = _TrieNode(action)
+                    children[key] = node
+                else:
+                    self._advance(script, percept, first=not hist)
+            hist.append((d, entry, clock))
+            children = node.children
+            action = node.action
+            if action is _STOP:
+                stopped = True
+                break
+            if isinstance(action, _Raise):
+                error, error_clock = action.exc, clock
+                break
+            if isinstance(action, Move):
+                move_clocks.append(clock)
+                row = action.port
+                entry = succ_port[pos][row]
+                pos = succ[pos][row]
+                move_pos.append(pos)
+                clock += 1
+                tail_waits = 0
+            elif isinstance(action, Wait):
+                clock += 1
+                tail_waits += 1
+            else:
+                clock += action.rounds
+                tail_waits += 1
+        xp = self._backend
+        times = xp.zeros(len(move_clocks) + 1, dtype=np.int64)
+        if move_clocks:
+            times[1:] = xp.asarray(move_clocks, dtype=np.int64) + 1
+            nodes = xp.concatenate(
+                ([start], xp.asarray(move_pos, dtype=np.int64))
+            )
+        else:
+            nodes = xp.asarray([start], dtype=np.int64)
+        self._cache[start] = PortTrace(
+            start=start,
+            times=times,
+            nodes=nodes,
+            valid_through=error_clock if error is not None else clock,
+            complete=stopped,
+            error=error,
+            tail_waits=tail_waits,
+        )
+
+    def _run_group(self, group: _Group, horizon: int) -> None:
+        graph = self._graph
+        degrees = graph.degrees
+        succ = graph.succ_node_array
+        succ_port = graph.succ_port_array
+        worklist = [group]
+        while worklist:
+            g = worklist.pop()
+            if g.stopped or g.error is not None or g.clock > horizon:
+                self._finalize(g)
+                continue
+            degs = degrees[g.pos]
+            uniform = bool((degs == degs[0]).all()) and bool(
+                (g.entry == g.entry[0]).all()
+            )
+            if uniform:
+                parts: list[tuple[int, int, np.ndarray | None]] = [
+                    (int(degs[0]), int(g.entry[0]), None)
+                ]
+            else:
+                buckets: dict[tuple[int, int], list[int]] = {}
+                for i, (d, e) in enumerate(zip(degs.tolist(), g.entry.tolist())):
+                    buckets.setdefault((d, e), []).append(i)
+                parts = [
+                    (d, e, np.array(idx, dtype=np.int64))
+                    for (d, e), idx in buckets.items()
+                ]
+            script = g.script
+            for d, e, idx in parts:
+                sub = g if idx is None else g.split(idx)
+                percept = Perception(
+                    degree=d, entry_port=(None if e < 0 else e), clock=g.clock
+                )
+                first = not g.percepts
+                key = (d, e)
+                child = g.children.get(key)
+                if child is None:
+                    if script is None:
+                        script = self._replay(sub, percept)
+                        action = self._advance(script, percept, first=first)
+                    else:
+                        action = self._advance(script, percept, first=first)
+                    child = _TrieNode(action)
+                    g.children[key] = child
+                elif script is not None:
+                    # Keep the live generator in sync through interned
+                    # decisions so it can extend the trie later.
+                    self._advance(script, percept, first=first)
+                sub.script, script = script, None  # hand off to this part
+                sub.percepts.append(percept)
+                sub.children = child.children
+                action = child.action
+                if action is _STOP:
+                    sub.stopped = True
+                elif isinstance(action, _Raise):
+                    sub.error = action.exc
+                    sub.error_clock = g.clock
+                elif isinstance(action, Move):
+                    sub.entry = succ_port[sub.pos, action.port]
+                    sub.pos = succ[sub.pos, action.port]
+                    sub.move_clocks.append(g.clock)
+                    sub.poslog.append(sub.pos)
+                    sub.clock = g.clock + 1
+                    sub.tail_waits = 0
+                elif isinstance(action, Wait):
+                    sub.clock = g.clock + 1
+                    sub.tail_waits += 1
+                else:  # WaitBlock: fast-forward without position events
+                    sub.clock = g.clock + action.rounds
+                    sub.tail_waits += 1
+                worklist.append(sub)
+
+    def _finalize(self, g: _Group) -> None:
+        xp = self._backend
+        times = xp.zeros(len(g.move_clocks) + 1, dtype=np.int64)
+        if g.move_clocks:
+            times[1:] = xp.asarray(g.move_clocks, dtype=np.int64) + 1
+            mat = np.array(g.poslog, dtype=np.int64)
+        for j, start in enumerate(g.starts.tolist()):
+            if g.move_clocks:
+                nodes = xp.concatenate(
+                    ([start], xp.asarray(mat[:, j], dtype=np.int64))
+                )
+            else:
+                nodes = xp.asarray([start], dtype=np.int64)
+            self._cache[start] = PortTrace(
+                start=start,
+                times=times,
+                nodes=nodes,
+                valid_through=g.error_clock if g.error is not None else g.clock,
+                complete=g.stopped,
+                error=g.error,
+                tail_waits=g.tail_waits,
+            )

@@ -74,6 +74,7 @@ _NONSYM_CASES = [
 
 SCENARIO = ScenarioSpec(
     exp_id="EXP-ASYNC/RAND",
+    code_version=2,
     title="Section 5 remarks: asynchrony kills time; randomness is cheap",
     module="repro.experiments.e_async_random",
     shard_axis="probe unit (family atlas / benign probes / walk rung)",

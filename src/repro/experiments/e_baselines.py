@@ -58,6 +58,7 @@ _FAST_CASES = [_CASES["ring6"], _CASES["torus3"], _CASES["path4"], _CASES["star"
 
 SCENARIO = ScenarioSpec(
     exp_id="EXP-BASE/LE",
+    code_version=2,
     title="Baselines vs UniversalRV; leader election from rendezvous",
     module="repro.experiments.e_baselines",
     shard_axis="STIC case (all baselines + partner sweep)",

@@ -59,6 +59,7 @@ _FAST_CASES = [
 
 SCENARIO = ScenarioSpec(
     exp_id="EXP-L32",
+    code_version=2,
     title="SymmRV with known parameters (Lemmas 3.2 and 3.3)",
     module="repro.experiments.e_symm_rv",
     shard_axis="graph family (full symmetric-pair orbit)",

@@ -1,30 +1,24 @@
-"""Batched multi-STIC rendezvous: compile traces once, gather per event.
+"""Batched multi-STIC rendezvous: a thin frontend over the execution core.
 
 The experiments are dominated by sweeping one deterministic algorithm
 over many STICs ``[(u, v), delta]`` of a single graph.  Running
 :func:`repro.sim.scheduler.run_rendezvous` in a loop re-executes the
 agent generator once per agent per STIC, although a deterministic
-agent's choices are a pure function of its *perception stream* — the
-same insight that lets :func:`repro.core.uxs.apply_uxs_ports`
-precompute a UXS walk.  This module exploits it in two stages:
+agent's choices are a pure function of its *perception stream*.  The
+machinery that exploits this lives in :mod:`repro.exec` (shared with
+the schedule-adversary sweep — see docs/execution_core.md):
 
-1. **Port-trace compiler** (:class:`TraceCompiler`): all requested
-   start nodes advance in lockstep through the graph.  Starts whose
-   perception streams have been identical so far form one *class*
-   sharing a single live generator; the decisions are interned in a
-   trie keyed by ``(degree, entry port)`` so later compilations replay
-   them with dict lookups instead of agent code.  Position updates are
-   one :data:`~repro.graphs.port_graph.PortLabeledGraph.succ_node_array`
-   gather per move event for the whole class (the pattern of
-   :func:`repro.hardness.batch.simulate_word_batch`), and wait blocks
-   advance the clock without touching positions — the scheduler's
-   fast-forward, preserved in compressed form.
-
-2. **Meeting solver**: each compiled :class:`PortTrace` is a step
-   function ``clock -> node``.  For a STIC the meeting time is the
-   earliest global round ``t`` in ``[delta, max_rounds]`` with
-   ``trace_u(t) == trace_v(t - delta)`` — found by merging the two
-   traces' O(#moves) breakpoints, never by stepping rounds.
+1. **Port-trace compiler** (:class:`repro.exec.trace.TraceCompiler`):
+   agent behavior is compiled once into :class:`~repro.exec.trace.
+   PortTrace` step-function arrays, interned in a decision trie.
+2. **Meeting solver** (:func:`repro.exec.meeting.resolve_sync_cell`):
+   for a STIC the meeting time is the earliest global round ``t`` in
+   ``[delta, max_rounds]`` with ``trace_u(t) == trace_v(t - delta)`` —
+   found by merging the two traces' O(#moves) breakpoints, never by
+   stepping rounds.
+3. **Adaptive deepening** (:func:`repro.exec.deepen.resolve_adaptive`):
+   compile shallow, solve, deepen geometrically — STICs that meet
+   early never pay for the deepest STIC's horizon.
 
 Atlas-style sweeps pair this engine with the per-graph symmetry
 kernel (:mod:`repro.symmetry.context`): the kernel classifies every
@@ -52,499 +46,36 @@ Requirements and caveats:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, NoReturn
+from typing import Callable, Iterable, Mapping, Sequence
 
-import numpy as np
-
+from repro.exec.backend import ArrayBackend
+from repro.exec.deepen import resolve_adaptive
+from repro.exec.meeting import (
+    PENDING as _PENDING,
+)
+from repro.exec.meeting import (
+    resolve_sync_cell,
+    solve_sync_meeting,
+)
+from repro.exec.trace import (
+    BadPortChoice as _BadPortChoice,
+)
+from repro.exec.trace import (
+    PortTrace,
+    TraceCompiler,
+)
+from repro.exec.trace import (
+    raise_for_stic as _raise_for_stic,
+)
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.sim.actions import Action, Move, Perception, Wait, WaitBlock
-from repro.sim.agent import AgentScript
 from repro.sim.scheduler import RendezvousResult, SimulationLimit
 
 __all__ = ["PortTrace", "TraceCompiler", "run_rendezvous_batch"]
 
-
-class _Stop:
-    """Sentinel: the agent script terminated (waits in place forever)."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "<stop>"
-
-
-_STOP = _Stop()
-
-
-class _Raise:
-    """Sentinel: the decision at this trie node raises ``exc``."""
-
-    __slots__ = ("exc",)
-
-    def __init__(self, exc: Exception) -> None:
-        self.exc = exc
-
-
-class _BadPortChoice(ValueError):
-    """Engine-detected invalid move, kept structured so the re-raise
-    can quote the *global* round of whichever STIC it binds to (the
-    compiled trace only knows the agent's local clock)."""
-
-    def __init__(self, port: int, degree: int, clock: int) -> None:
-        super().__init__(
-            f"agent chose port {port} at a node of degree {degree} "
-            f"(clock {clock})"
-        )
-        self.port = port
-        self.degree = degree
-        self.clock = clock
-
-
-def _raise_for_stic(exc: Exception, start_round: int) -> NoReturn:
-    """Re-raise a compiled error as the scalar scheduler would for an
-    agent that starts at global round ``start_round``."""
-    if isinstance(exc, _BadPortChoice):
-        raise ValueError(
-            f"agent chose port {exc.port} at a node of degree {exc.degree} "
-            f"(round {exc.clock + start_round})"
-        )
-    raise exc
-
-
-class _TrieNode:
-    """One interned decision: the action yielded after a perception
-    stream, plus the decisions reachable from it keyed by the next
-    ``(degree, entry port)`` pair.  The local clock is *not* part of
-    the key: it is a deterministic function of the action prefix."""
-
-    __slots__ = ("action", "children")
-
-    def __init__(self, action: Action | _Stop | _Raise) -> None:
-        self.action = action
-        self.children: dict[tuple[int, int], _TrieNode] = {}
-
-
-@dataclass(frozen=True)
-class PortTrace:
-    """Compressed trajectory of one agent from one start node.
-
-    ``times``/``nodes`` encode the step function *local clock -> node*:
-    the agent occupies ``nodes[i]`` for clocks in
-    ``[times[i], times[i+1])`` (``times[0] == 0``).  Positions are
-    defined for clocks up to :attr:`valid_through` inclusive — or for
-    every clock when :attr:`complete` (the script terminated).  When
-    :attr:`error` is set, the decision at clock ``valid_through``
-    raised; positions before it are still exact.
-
-    :attr:`tail_waits` counts the consecutive wait *actions* (``Wait``
-    or ``WaitBlock`` yields, regardless of their round spans) at the
-    end of the compiled prefix since the last move.  Consumers that
-    collapse waits (the asynchronous schedule engine) use it as a fuel
-    gauge: a trace that keeps waiting without ever moving again is
-    indistinguishable from one that just has not been compiled deep
-    enough, except by its action count.
-    """
-
-    start: int
-    times: np.ndarray
-    nodes: np.ndarray
-    valid_through: int
-    complete: bool
-    error: Exception | None = None
-    tail_waits: int = 0
-
-    @property
-    def moves(self) -> int:
-        """Number of traversals in the compiled prefix."""
-        return len(self.nodes) - 1
-
-    @property
-    def limit(self) -> float:
-        """Largest local clock with a defined position (may be inf)."""
-        return math.inf if self.complete else self.valid_through
-
-    def position(self, clock: int) -> int:
-        """Node occupied at local ``clock`` (must be within validity)."""
-        if clock < 0 or clock > self.limit:
-            raise ValueError(f"clock {clock} outside compiled range")
-        i = int(np.searchsorted(self.times, clock, side="right")) - 1
-        return int(self.nodes[i])
-
-
-class _Group:
-    """A set of start nodes whose perception streams agree so far."""
-
-    __slots__ = (
-        "starts",
-        "pos",
-        "entry",
-        "clock",
-        "children",
-        "percepts",
-        "script",
-        "move_clocks",
-        "poslog",
-        "stopped",
-        "error",
-        "error_clock",
-        "tail_waits",
-    )
-
-    def __init__(self, starts: np.ndarray, children: dict) -> None:
-        self.starts = starts
-        self.pos = starts.copy()
-        self.entry = np.full(len(starts), -1, dtype=np.int64)
-        self.clock = 0
-        self.children = children  # current trie level
-        self.percepts: list[Perception] = []
-        self.script = None
-        self.move_clocks: list[int] = []
-        self.poslog: list[np.ndarray] = []
-        self.stopped = False
-        self.error: Exception | None = None
-        self.error_clock = 0
-        self.tail_waits = 0
-
-    def split(self, idx: np.ndarray) -> "_Group":
-        sub = _Group.__new__(_Group)
-        sub.starts = self.starts[idx]
-        sub.pos = self.pos[idx]
-        sub.entry = self.entry[idx]
-        sub.clock = self.clock
-        sub.children = self.children
-        sub.percepts = list(self.percepts)
-        sub.script = None
-        sub.move_clocks = list(self.move_clocks)
-        sub.poslog = [arr[idx] for arr in self.poslog]
-        sub.stopped = False
-        sub.error = None
-        sub.error_clock = 0
-        sub.tail_waits = self.tail_waits
-        return sub
-
-
-class TraceCompiler:
-    """Compiles and caches :class:`PortTrace` objects for one
-    ``(graph, algorithm)`` pair; reusable across batch calls."""
-
-    def __init__(
-        self,
-        graph: PortLabeledGraph,
-        algorithm: Callable,
-        *,
-        oracle_factory: Callable[[int], object] | None = None,
-    ) -> None:
-        self._graph = graph
-        self._algorithm = algorithm
-        self._oracle_factory = oracle_factory
-        self._oracles: dict[int, object] = {}
-        self._trie: dict[tuple[int, int], _TrieNode] = {}
-        self._tries: dict[int, dict] = {}  # per-start roots (oracle mode)
-        self._cache: dict[int, PortTrace] = {}
-        # Plain-list mirrors of the successor tables: python-int indexing
-        # is what the singleton fast path spends its time on.
-        self._deg_list: list[int] = graph.degrees.tolist()
-        self._succ_list: list[list[int]] = graph.succ_node_array.tolist()
-        self._succ_port_list: list[list[int]] = graph.succ_port_array.tolist()
-
-    # -- public -----------------------------------------------------------
-    def trace(self, start: int, horizon: int) -> PortTrace:
-        """Trace of ``start`` valid through local clock ``horizon``."""
-        return self.traces({start: horizon})[start]
-
-    def traces(self, horizons: dict[int, int]) -> dict[int, PortTrace]:
-        """Compile (or reuse) traces for many starts at once.
-
-        ``horizons`` maps start node to the local clock through which
-        its positions must be defined.  All fresh compilations in one
-        call run to the largest requested horizon, in lockstep.
-        """
-        jobs = [
-            s
-            for s, h in horizons.items()
-            if not self._is_sufficient(self._cache.get(s), h)
-        ]
-        if jobs:
-            horizon = max(horizons[s] for s in jobs)
-            starts = sorted(set(jobs))
-            if self._oracle_factory is not None:
-                # Oracles may depend on the start node, so classes never
-                # merge: compile each start alone with a private trie.
-                for s in starts:
-                    self._run_single(s, horizon, self._tries.setdefault(s, {}))
-            elif len(starts) == 1:
-                self._run_single(starts[0], horizon, self._trie)
-            else:
-                group = _Group(np.array(starts, dtype=np.int64), self._trie)
-                self._run_group(group, horizon)
-        return {s: self._cache[s] for s in horizons}
-
-    # -- internals --------------------------------------------------------
-    @staticmethod
-    def _is_sufficient(trace: PortTrace | None, horizon: int) -> bool:
-        if trace is None:
-            return False
-        # An errored trace cannot be extended: the failing decision is
-        # deterministic, so recompiling would stop at the same clock.
-        return (
-            trace.complete
-            or trace.error is not None
-            or trace.valid_through >= horizon
-        )
-
-    def _instantiate(self, wake: Perception, start: int) -> AgentScript:
-        if self._oracle_factory is None:
-            return self._algorithm(wake)
-        if start not in self._oracles:
-            self._oracles[start] = self._oracle_factory(start)
-        return self._algorithm(wake, self._oracles[start])
-
-    def _replay(self, group: _Group, current: Perception) -> AgentScript:
-        """Fresh generator positioned to decide on ``current``."""
-        wake = group.percepts[0] if group.percepts else current
-        script = self._instantiate(wake, int(group.starts[0]))
-        if group.percepts:
-            # Re-feed the recorded stream; by determinism the actions
-            # match the trie, so their values are irrelevant here.
-            next(script)
-            for percept in group.percepts[1:]:
-                script.send(percept)
-        return script
-
-    @staticmethod
-    def _advance(
-        script: AgentScript, percept: Perception, first: bool
-    ) -> Action | _Stop | _Raise:
-        try:
-            action = next(script) if first else script.send(percept)
-        except StopIteration:
-            return _STOP
-        except Exception as exc:  # agent-code failure: deterministic
-            return _Raise(exc)
-        if isinstance(action, Move):
-            if action.port >= percept.degree:
-                return _Raise(
-                    _BadPortChoice(action.port, percept.degree, percept.clock)
-                )
-            return action
-        if isinstance(action, (Wait, WaitBlock)):
-            return action
-        return _Raise(
-            TypeError(f"agent yielded {action!r}; expected Move/Wait/WaitBlock")
-        )
-
-    def _replay_keys(
-        self, hist: list[tuple[int, int, int]], current: Perception, start: int
-    ) -> AgentScript:
-        """Fresh generator for the singleton path; perceptions are
-        rebuilt from the recorded ``(degree, entry, clock)`` stream."""
-        if not hist:
-            return self._instantiate(current, start)
-        script = self._instantiate(
-            Perception(degree=hist[0][0], entry_port=None, clock=0), start
-        )
-        next(script)
-        for d, e, c in hist[1:]:
-            script.send(
-                Perception(degree=d, entry_port=(None if e < 0 else e), clock=c)
-            )
-        return script
-
-    def _run_single(self, start: int, horizon: int, children: dict) -> None:
-        """Scalar compile of one start node (the oracle-mode path and
-        the single-start degenerate case of the ensemble stepper)."""
-        deg = self._deg_list
-        succ = self._succ_list
-        succ_port = self._succ_port_list
-        pos, entry, clock = start, -1, 0
-        script = None
-        hist: list[tuple[int, int, int]] = []
-        move_clocks: list[int] = []
-        move_pos: list[int] = []
-        stopped = False
-        error: Exception | None = None
-        error_clock = 0
-        tail_waits = 0
-        while clock <= horizon:
-            d = deg[pos]
-            key = (d, entry)
-            node = children.get(key)
-            if node is None or script is not None:
-                percept = Perception(
-                    degree=d, entry_port=(None if entry < 0 else entry), clock=clock
-                )
-                if node is None:
-                    if script is None:
-                        script = self._replay_keys(hist, percept, start)
-                    action = self._advance(script, percept, first=not hist)
-                    node = _TrieNode(action)
-                    children[key] = node
-                else:
-                    self._advance(script, percept, first=not hist)
-            hist.append((d, entry, clock))
-            children = node.children
-            action = node.action
-            if action is _STOP:
-                stopped = True
-                break
-            if isinstance(action, _Raise):
-                error, error_clock = action.exc, clock
-                break
-            if isinstance(action, Move):
-                move_clocks.append(clock)
-                row = action.port
-                entry = succ_port[pos][row]
-                pos = succ[pos][row]
-                move_pos.append(pos)
-                clock += 1
-                tail_waits = 0
-            elif isinstance(action, Wait):
-                clock += 1
-                tail_waits += 1
-            else:
-                clock += action.rounds
-                tail_waits += 1
-        times = np.zeros(len(move_clocks) + 1, dtype=np.int64)
-        if move_clocks:
-            times[1:] = np.asarray(move_clocks, dtype=np.int64) + 1
-            nodes = np.concatenate(
-                ([start], np.asarray(move_pos, dtype=np.int64))
-            )
-        else:
-            nodes = np.array([start], dtype=np.int64)
-        self._cache[start] = PortTrace(
-            start=start,
-            times=times,
-            nodes=nodes,
-            valid_through=error_clock if error is not None else clock,
-            complete=stopped,
-            error=error,
-            tail_waits=tail_waits,
-        )
-
-    def _run_group(self, group: _Group, horizon: int) -> None:
-        graph = self._graph
-        degrees = graph.degrees
-        succ = graph.succ_node_array
-        succ_port = graph.succ_port_array
-        worklist = [group]
-        while worklist:
-            g = worklist.pop()
-            if g.stopped or g.error is not None or g.clock > horizon:
-                self._finalize(g)
-                continue
-            degs = degrees[g.pos]
-            uniform = bool((degs == degs[0]).all()) and bool(
-                (g.entry == g.entry[0]).all()
-            )
-            if uniform:
-                parts: list[tuple[int, int, np.ndarray | None]] = [
-                    (int(degs[0]), int(g.entry[0]), None)
-                ]
-            else:
-                buckets: dict[tuple[int, int], list[int]] = {}
-                for i, (d, e) in enumerate(zip(degs.tolist(), g.entry.tolist())):
-                    buckets.setdefault((d, e), []).append(i)
-                parts = [
-                    (d, e, np.array(idx, dtype=np.int64))
-                    for (d, e), idx in buckets.items()
-                ]
-            script = g.script
-            for d, e, idx in parts:
-                sub = g if idx is None else g.split(idx)
-                percept = Perception(
-                    degree=d, entry_port=(None if e < 0 else e), clock=g.clock
-                )
-                first = not g.percepts
-                key = (d, e)
-                child = g.children.get(key)
-                if child is None:
-                    if script is None:
-                        script = self._replay(sub, percept)
-                        action = self._advance(script, percept, first=first)
-                    else:
-                        action = self._advance(script, percept, first=first)
-                    child = _TrieNode(action)
-                    g.children[key] = child
-                elif script is not None:
-                    # Keep the live generator in sync through interned
-                    # decisions so it can extend the trie later.
-                    self._advance(script, percept, first=first)
-                sub.script, script = script, None  # hand off to this part
-                sub.percepts.append(percept)
-                sub.children = child.children
-                action = child.action
-                if action is _STOP:
-                    sub.stopped = True
-                elif isinstance(action, _Raise):
-                    sub.error = action.exc
-                    sub.error_clock = g.clock
-                elif isinstance(action, Move):
-                    sub.entry = succ_port[sub.pos, action.port]
-                    sub.pos = succ[sub.pos, action.port]
-                    sub.move_clocks.append(g.clock)
-                    sub.poslog.append(sub.pos)
-                    sub.clock = g.clock + 1
-                    sub.tail_waits = 0
-                elif isinstance(action, Wait):
-                    sub.clock = g.clock + 1
-                    sub.tail_waits += 1
-                else:  # WaitBlock: fast-forward without position events
-                    sub.clock = g.clock + action.rounds
-                    sub.tail_waits += 1
-                worklist.append(sub)
-
-    def _finalize(self, g: _Group) -> None:
-        times = np.zeros(len(g.move_clocks) + 1, dtype=np.int64)
-        if g.move_clocks:
-            times[1:] = np.asarray(g.move_clocks, dtype=np.int64) + 1
-            mat = np.array(g.poslog, dtype=np.int64)
-        for j, start in enumerate(g.starts.tolist()):
-            if g.move_clocks:
-                nodes = np.concatenate(([start], mat[:, j]))
-            else:
-                nodes = np.array([start], dtype=np.int64)
-            self._cache[start] = PortTrace(
-                start=start,
-                times=times,
-                nodes=nodes,
-                valid_through=g.error_clock if g.error is not None else g.clock,
-                complete=g.stopped,
-                error=g.error,
-                tail_waits=g.tail_waits,
-            )
-
-
-def _solve_meeting(
-    trace_a: PortTrace, trace_b: PortTrace, delta: int, limit: int
-) -> tuple[int, int] | None:
-    """Earliest ``(t, node)`` with ``a(t) == b(t - delta)``, for global
-    ``t`` in ``[delta, limit]`` inclusive; ``None`` when they never
-    coincide there.  Works on trace breakpoints, not rounds."""
-    if delta > limit:
-        return None
-    ta = trace_a.times
-    tb = trace_b.times + delta
-    cut_a = int(np.searchsorted(ta, limit, side="right"))
-    cut_b = int(np.searchsorted(tb, limit, side="right"))
-    bp = np.union1d(ta[:cut_a], tb[:cut_b])
-    bp = bp[bp >= delta]
-    if bp.size == 0 or bp[0] != delta:
-        bp = np.concatenate(([delta], bp))
-    pos_a = trace_a.nodes[np.searchsorted(ta, bp, side="right") - 1]
-    pos_b = trace_b.nodes[
-        np.searchsorted(trace_b.times, bp - delta, side="right") - 1
-    ]
-    eq = pos_a == pos_b
-    if not eq.any():
-        return None
-    k = int(np.argmax(eq))
-    return int(bp[k]), int(pos_a[k])
-
-
-_PENDING = object()
+# Module-level solver seam: mutation tests (and instrumented runs)
+# monkeypatch this name to inject bugs; the sweep below looks it up at
+# call time so the patch takes effect.
+_solve_meeting = solve_sync_meeting
 
 
 def _try_solve(
@@ -555,50 +86,30 @@ def _try_solve(
     trace_u: PortTrace,
     trace_v: PortTrace,
     raise_on_limit: bool,
-) -> Any:  # RendezvousResult, or the _PENDING sentinel
-    """Resolve one STIC from (possibly truncated) traces.
+    backend: ArrayBackend | None = None,
+):  # RendezvousResult, or the _PENDING sentinel
+    """Resolve one STIC from (possibly truncated) traces, routing the
+    meeting solver through the module-level :data:`_solve_meeting`."""
+    if backend is None:
+        solver = _solve_meeting
+    else:
+        # The seam's solver signature is fixed at four arguments (the
+        # mutation tests substitute plain ``(a, b, delta, limit)``
+        # functions), so a plugged backend is bound here instead.
+        def solver(a, b, d, lim):  # pragma: no branch
+            return _solve_meeting(a, b, d, lim, backend)
 
-    Returns a :class:`RendezvousResult`, raises like the scalar
-    scheduler would, or returns ``_PENDING`` when the compiled horizon
-    is too short to decide.
-    """
-    limit = min(max_rounds, trace_u.limit, delta + trace_v.limit)
-    hit = _solve_meeting(trace_u, trace_v, delta, int(limit))
-    if hit is not None:
-        t, node = hit
-        return RendezvousResult(
-            met=True,
-            meeting_node=node,
-            meeting_time=t,
-            time_from_later=t - delta,
-            rounds_executed=t,
-            crossings=(),
-            traces=None,
-        )
-    if limit >= max_rounds:
-        if raise_on_limit:
-            raise SimulationLimit(f"no rendezvous within {max_rounds} rounds")
-        return RendezvousResult(
-            met=False,
-            meeting_node=None,
-            meeting_time=None,
-            time_from_later=None,
-            rounds_executed=max_rounds,
-            crossings=(),
-            traces=None,
-        )
-    # No meeting within the compiled region and the budget is not
-    # exhausted: either an agent error binds (scalar would raise when
-    # pulling that round — agent 0 is pulled first on ties), or the
-    # horizon must be deepened.
-    err_u = trace_u.limit if trace_u.error is not None else math.inf
-    err_v = delta + trace_v.limit if trace_v.error is not None else math.inf
-    nearest = min(err_u, err_v)
-    if nearest <= limit and nearest < max_rounds:
-        if err_u <= err_v:
-            _raise_for_stic(trace_u.error, 0)
-        _raise_for_stic(trace_v.error, delta)
-    return _PENDING
+    return resolve_sync_cell(
+        u,
+        v,
+        delta,
+        max_rounds,
+        trace_u,
+        trace_v,
+        raise_on_limit,
+        backend=backend,
+        solver=solver,
+    )
 
 
 def run_rendezvous_batch(
@@ -611,6 +122,7 @@ def run_rendezvous_batch(
     raise_on_limit: bool = False,
     compiler: TraceCompiler | None = None,
     initial_horizon: int = 1024,
+    backend: ArrayBackend | None = None,
 ) -> list[RendezvousResult]:
     """Simulate one deterministic ``algorithm`` over many STICs at once.
 
@@ -632,6 +144,9 @@ def run_rendezvous_batch(
     initial_horizon:
         First compile depth; quadrupled until every STIC is decided
         (meetings far below the budget never pay for the full horizon).
+    backend:
+        Array backend for compiled traces (default: the process-wide
+        numpy backend; see :mod:`repro.exec.backend`).
 
     Returns one result per STIC, in input order, with ``met`` /
     ``meeting_node`` / ``meeting_time`` / ``time_from_later`` /
@@ -653,7 +168,9 @@ def run_rendezvous_batch(
             raise ValueError("max_rounds must be non-negative")
         budgets.append(int(m))
     if compiler is None:
-        compiler = TraceCompiler(graph, algorithm, oracle_factory=oracle_factory)
+        compiler = TraceCompiler(
+            graph, algorithm, oracle_factory=oracle_factory, backend=backend
+        )
 
     # Local-clock horizons each trace must eventually reach.
     need: dict[int, int] = {}
@@ -662,11 +179,7 @@ def run_rendezvous_batch(
         if m - delta >= 0:
             need[v] = max(need.get(v, 0), m - delta)
 
-    results: list[RendezvousResult | None] = [None] * len(items)
-    pending = list(range(len(items)))
-    cap = max(need.values(), default=0)
-    horizon = min(cap, max(initial_horizon, 1))
-    while pending:
+    def step(pending: Sequence[int], horizon: int) -> Mapping[int, RendezvousResult]:
         starts = set()
         for i in pending:
             u, v, delta = items[i]
@@ -674,7 +187,7 @@ def run_rendezvous_batch(
         traces = compiler.traces(
             {s: min(horizon, need[s]) for s in starts if s in need}
         )
-        still: list[int] = []
+        decided: dict[int, RendezvousResult] = {}
         for i in pending:
             u, v, delta = items[i]
             if delta > budgets[i]:
@@ -685,13 +198,12 @@ def run_rendezvous_batch(
                 if tu.error is not None and tu.limit < budgets[i]:
                     _raise_for_stic(tu.error, 0)
                 if not tu.complete and tu.valid_through < budgets[i]:
-                    still.append(i)
                     continue
                 if raise_on_limit:
                     raise SimulationLimit(
                         f"no rendezvous within {budgets[i]} rounds"
                     )
-                results[i] = RendezvousResult(
+                decided[i] = RendezvousResult(
                     met=False,
                     meeting_node=None,
                     meeting_time=None,
@@ -702,15 +214,22 @@ def run_rendezvous_batch(
                 )
                 continue
             outcome = _try_solve(
-                u, v, delta, budgets[i], traces[u], traces[v], raise_on_limit
+                u,
+                v,
+                delta,
+                budgets[i],
+                traces[u],
+                traces[v],
+                raise_on_limit,
+                backend=backend,
             )
-            if outcome is _PENDING:
-                still.append(i)
-            else:
-                results[i] = outcome
-        pending = still
-        if pending:
-            if horizon >= cap:  # pragma: no cover - defensive
-                raise AssertionError("batch horizon exhausted with STICs pending")
-            horizon = min(cap, horizon * 4)
-    return results  # type: ignore[return-value]
+            if outcome is not _PENDING:
+                decided[i] = outcome
+        return decided
+
+    return resolve_adaptive(
+        len(items),
+        step,
+        initial_horizon=initial_horizon,
+        cap=max(need.values(), default=0),
+    )

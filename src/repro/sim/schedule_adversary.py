@@ -44,16 +44,23 @@ Two engines share these semantics bit-for-bit:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, NoReturn, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.exec.backend import ArrayBackend
+from repro.exec.deepen import resolve_adaptive
+from repro.exec.meeting import (
+    PENDING as _PENDING,
+)
+from repro.exec.meeting import (
+    resolve_async_cell as _try_solve_cell,
+)
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.actions import Move, Perception, Wait, WaitBlock
 from repro.sim.agent import AgentScript
-from repro.sim.batch import PortTrace, TraceCompiler, _BadPortChoice
+from repro.sim.batch import PortTrace, TraceCompiler
 from repro.util.lcg import SplitMix64, derive_seed
 
 __all__ = [
@@ -411,89 +418,6 @@ def run_schedule_adversary(
 # ---------------------------------------------------------------------------
 
 
-def _raise_for_async(exc: Exception, node: int) -> NoReturn:
-    """Re-raise a compiled agent error as the scalar engine would."""
-    if isinstance(exc, _BadPortChoice):
-        raise ValueError(f"invalid port {exc.port} at node {node}")
-    raise exc
-
-
-def _first_error_event(cum: np.ndarray, agent: int, trace: PortTrace) -> float:
-    """Event at which the schedule would pull this trace's failing
-    decision (the pull after its last compiled move), or ``inf``."""
-    if trace.error is None:
-        return math.inf
-    pulls = np.flatnonzero(
-        (cum[1:, agent] > cum[:-1, agent]) & (cum[:-1, agent] == trace.moves)
-    )
-    return int(pulls[0]) if pulls.size else math.inf
-
-
-_PENDING = object()
-
-
-def _try_solve_cell(
-    cum: np.ndarray,
-    budget: int,
-    trace_u: PortTrace,
-    trace_v: PortTrace,
-) -> Any:  # AsyncOutcome, or the _PENDING sentinel
-    """Resolve one (pair, schedule) cell from (possibly truncated)
-    traces.
-
-    Returns an :class:`AsyncOutcome`, raises like the scalar engine
-    would, or returns ``_PENDING`` when the compiled prefixes are too
-    shallow to decide the cell.  Positions are exact for every event
-    whose cumulative activation counts stay within both compiled
-    prefixes (a complete trace covers any count: a terminated script
-    simply stops moving), so a meeting found inside that region is the
-    true earliest one.
-    """
-    cap_a = budget + 1 if trace_u.complete else trace_u.moves
-    cap_b = budget + 1 if trace_v.complete else trace_v.moves
-    exceed = (cum[:, 0] > cap_a) | (cum[:, 1] > cap_b)
-    e_valid = int(np.argmax(exceed)) - 1 if bool(exceed.any()) else budget
-    ca = np.minimum(cum[: e_valid + 1, 0], trace_u.moves)
-    cb = np.minimum(cum[: e_valid + 1, 1], trace_v.moves)
-    pos_a = trace_u.nodes[ca]
-    pos_b = trace_v.nodes[cb]
-    eq = pos_a == pos_b
-    met = bool(eq.any())
-    k = int(np.argmax(eq)) if met else None
-
-    # An agent error binds when its failing pull would execute before
-    # the first node meeting (meetings are checked at the top of each
-    # event, so a meeting at the error's own event wins).  Within one
-    # event the scalar engine raises pull-time script exceptions (both
-    # next_move calls run first) before apply-time invalid-port errors,
-    # agent 0 before agent 1 within each kind.
-    candidates = []
-    for agent, trace in ((0, trace_u), (1, trace_v)):
-        event = _first_error_event(cum, agent, trace)
-        if not math.isinf(event):
-            kind = 1 if isinstance(trace.error, _BadPortChoice) else 0
-            candidates.append((event, kind, agent, trace))
-    nearest = min(candidates, key=lambda c: c[:3]) if candidates else None
-
-    def crossings_before(stop: int) -> int:
-        moved_a = ca[1:] > ca[:-1]
-        moved_b = cb[1:] > cb[:-1]
-        swap = (
-            (pos_a[1:] == pos_b[:-1])
-            & (pos_b[1:] == pos_a[:-1])
-            & (pos_a[:-1] != pos_b[:-1])
-        )
-        return int((moved_a & moved_b & swap)[:stop].sum())
-
-    if met and (nearest is None or k <= nearest[0]):
-        return AsyncOutcome(True, int(pos_a[k]), k, crossings_before(k))
-    if nearest is not None and nearest[0] <= e_valid:
-        _raise_for_async(nearest[3].error, int(nearest[3].nodes[-1]))
-    if not met and e_valid >= budget:
-        return AsyncOutcome(False, None, budget, crossings_before(budget))
-    return _PENDING
-
-
 def run_schedule_sweep(
     graph: PortLabeledGraph,
     cells: Iterable,
@@ -503,6 +427,7 @@ def run_schedule_sweep(
     compiler: TraceCompiler | None = None,
     fuel: int = 1 << 16,
     initial_horizon: int = 1024,
+    backend: ArrayBackend | None = None,
 ) -> list[AsyncOutcome]:
     """Run one deterministic ``algorithm`` over a (pair × schedule) grid.
 
@@ -524,6 +449,9 @@ def run_schedule_sweep(
         run is declared move-starved (mirrors the scalar engine's
         per-pull fuel limit; measured in *actions*, so arbitrarily long
         ``WaitBlock`` paddings never trip it).
+    backend:
+        Array backend for compiled traces and cell resolution (default:
+        the process-wide numpy backend; see :mod:`repro.exec.backend`).
 
     Returns one :class:`AsyncOutcome` per cell, in input order,
     bit-identical to :func:`run_schedule_adversary` (at matching
@@ -554,7 +482,7 @@ def run_schedule_sweep(
             raise ValueError("max_events must be non-negative")
         budgets.append(int(m))
     if compiler is None:
-        compiler = TraceCompiler(graph, algorithm)
+        compiler = TraceCompiler(graph, algorithm, backend=backend)
 
     # Cumulative activation counts, one per distinct (schedule, budget).
     cums: dict[tuple[int, int], np.ndarray] = {}
@@ -564,20 +492,19 @@ def run_schedule_sweep(
             cums[key] = schedule.cumulative_moves(budget)
 
     # Compile shallow, solve, deepen: cells that meet early never pay
-    # for their full event budgets (the synchronous engine's strategy).
-    # The compiler's horizons are local clocks, which waits inflate, so
-    # traces are deepened geometrically until each has the traversals
-    # its pending cells ask about, terminated, errored, or spent
-    # ``fuel`` consecutive wait actions without moving — the batch
-    # rendering of the scalar engine's per-pull fuel limit.  Move needs
-    # are re-derived from the *still-pending* cells every round, so a
-    # straggler cell never deepens (or fuel-faults) traces that only
-    # already-resolved cells asked about.
-    results: list[AsyncOutcome | None] = [None] * len(items)
-    pending = list(range(len(items)))
+    # for their full event budgets (the synchronous engine's strategy,
+    # shared via repro.exec.deepen.resolve_adaptive).  The compiler's
+    # horizons are local clocks, which waits inflate, so traces are
+    # deepened geometrically (``cap=None``: unbounded) until each has
+    # the traversals its pending cells ask about, terminated, errored,
+    # or spent ``fuel`` consecutive wait actions without moving — the
+    # batch rendering of the scalar engine's per-pull fuel limit.  Move
+    # needs are re-derived from the *still-pending* cells every round,
+    # so a straggler cell never deepens (or fuel-faults) traces that
+    # only already-resolved cells asked about.
     traces: dict[int, PortTrace] = {}
-    horizon = max(initial_horizon, 1)
-    while pending:
+
+    def step(pending: Sequence[int], horizon: int) -> Mapping[int, AsyncOutcome]:
         need_moves: dict[int, int] = {}
         for i in pending:
             u, v, schedule = items[i]
@@ -607,16 +534,18 @@ def run_schedule_sweep(
                     raise RuntimeError(
                         "agent produced no move within the fuel limit"
                     )
-        still: list[int] = []
+        decided: dict[int, AsyncOutcome] = {}
         for i in pending:
             u, v, schedule = items[i]
             outcome = _try_solve_cell(
-                cums[(id(schedule), budgets[i])], budgets[i], traces[u], traces[v]
+                cums[(id(schedule), budgets[i])],
+                budgets[i],
+                traces[u],
+                traces[v],
+                backend=backend,
             )
-            if outcome is _PENDING:
-                still.append(i)
-            else:
-                results[i] = outcome
-        pending = still
-        horizon *= 4
-    return results  # type: ignore[return-value]
+            if outcome is not _PENDING:
+                decided[i] = outcome
+        return decided
+
+    return resolve_adaptive(len(items), step, initial_horizon=initial_horizon)

@@ -151,3 +151,39 @@ def test_healthy_engines_produce_no_artifacts():
     run = run_experiment(_campaign("differential/uxs-cover"), tier="smoke")
     assert run.record.passed is True
     assert _failing_artifacts(run) == []
+
+
+def test_skewed_word_batch_is_caught(tmp_path, monkeypatch):
+    original = checks_module.simulate_word_batch
+
+    def skewed(graph, word, u, starts, delta, max_rounds):
+        return [
+            None if m is None else m + 1
+            for m in original(graph, word, u, starts, delta, max_rounds)
+        ]
+
+    def mutate(patch):
+        patch.setattr(checks_module, "simulate_word_batch", skewed)
+
+    _assert_caught_shrunk_and_replayable(
+        "differential/hardness-word", tmp_path, monkeypatch, mutate
+    )
+
+
+def test_start_dependent_coverage_miscount_is_caught(tmp_path, monkeypatch):
+    """A coverage kernel that miscounts for one start id breaks the
+    node-permutation equivariance the metamorphic check asserts."""
+    original = checks_module.covered_counts
+
+    def miscounting(graph, seq, **kwargs):
+        counts = original(graph, seq, **kwargs).copy()
+        if counts[0] > 1:
+            counts[0] -= 1
+        return counts
+
+    def mutate(patch):
+        patch.setattr(checks_module, "covered_counts", miscounting)
+
+    _assert_caught_shrunk_and_replayable(
+        "metamorphic/uxs-relabel", tmp_path, monkeypatch, mutate
+    )

@@ -1,0 +1,141 @@
+"""Differential fuzz: the unified asynchronous schedule sweep against
+the frozen pre-refactor engine (and the retained scalar adversary).
+
+Every ``(graph, agent, pair, schedule)`` cell must produce a
+bit-identical :class:`~repro.sim.schedule_adversary.AsyncOutcome` —
+``met`` / ``meeting_node`` / ``events`` / ``edge_meetings`` — between
+:func:`repro.sim.schedule_adversary.run_schedule_sweep` (now a
+frontend over ``repro.exec``) and the pre-refactor loop preserved in
+``benchmarks/_legacy_engines.py``.
+"""
+
+import pytest
+
+from harness import (
+    assert_engines_identical,
+    graph_pool,
+    load_legacy,
+    schedule_corpus,
+    seeded_agent,
+    terminating_agent,
+    event_budget,
+)
+from repro.sim import Move, Wait
+from repro.sim.schedule_adversary import (
+    MirrorSchedule,
+    run_schedule_adversary,
+    run_schedule_sweep,
+)
+
+AGENT_SEEDS = (11, 23, 47)
+CASES = [
+    (graph_idx, agent_seed)
+    for graph_idx in range(len(graph_pool()))
+    for agent_seed in AGENT_SEEDS
+]
+
+
+def schedule_case(graph_idx: int, agent_seed: int) -> str | None:
+    """One corpus cell: sweep-vs-legacy on 12 cells, full equality."""
+    graph, cells = schedule_corpus(graph_idx, agent_seed)
+    new = run_schedule_sweep(
+        graph, cells, seeded_agent(agent_seed), max_events=event_budget
+    )
+    old = load_legacy().legacy_run_schedule_sweep(
+        graph, cells, seeded_agent(agent_seed), max_events=event_budget
+    )
+    for (u, v, schedule), a, b in zip(cells, new, old):
+        if a != b:
+            return f"cell {(u, v, schedule.name)}: new={a} old={b}"
+    # Spot-check the retained scalar reference on the first few cells.
+    for u, v, schedule in cells[:4]:
+        ref = run_schedule_adversary(
+            graph,
+            u,
+            v,
+            seeded_agent(agent_seed),
+            schedule,
+            max_events=event_budget(u, v, schedule),
+        )
+        got = new[cells.index((u, v, schedule))]
+        if (got.met, got.meeting_node, got.events, got.edge_meetings) != (
+            ref.met,
+            ref.meeting_node,
+            ref.events,
+            ref.edge_meetings,
+        ):
+            return f"cell {(u, v, schedule.name)} scalar: {got} vs {ref}"
+    return None
+
+
+def test_corpus_size():
+    """The acceptance bar: at least 200 fuzzed instances."""
+    total = sum(len(schedule_corpus(g, s)[1]) for g, s in CASES)
+    assert total >= 200, total
+
+
+def test_sweep_matches_legacy_and_scalar():
+    assert_engines_identical(schedule_case, CASES, min_cases=len(CASES))
+
+
+def terminating_case(graph_idx: int, lifetime: int) -> str | None:
+    graph, cells = schedule_corpus(graph_idx, 100 + lifetime)
+    algo = terminating_agent(3, lifetime)
+    new = run_schedule_sweep(graph, cells, algo, max_events=120)
+    old = load_legacy().legacy_run_schedule_sweep(
+        graph, cells, algo, max_events=120
+    )
+    for (u, v, schedule), a, b in zip(cells, new, old):
+        if a != b:
+            return f"cell {(u, v, schedule.name)}: new={a} old={b}"
+    return None
+
+
+def test_terminating_agents_match():
+    cases = [(g, life) for g in (1, 3, 5) for life in (0, 1, 5, 17)]
+    assert_engines_identical(terminating_case, cases)
+
+
+def test_error_parity():
+    """Pull-time script errors and apply-time port errors both match."""
+
+    def explodes(percept):
+        percept = yield Move(0)
+        raise RuntimeError("boom")
+
+    def bad(percept):
+        yield Move(0)
+        while True:
+            percept = yield Move(7)
+
+    graph = graph_pool()[2]
+    legacy = load_legacy()
+    for algo, exc_type in ((explodes, RuntimeError), (bad, ValueError)):
+        with pytest.raises(exc_type) as new_exc:
+            run_schedule_sweep(
+                graph, [(0, 3, MirrorSchedule())], algo, max_events=50
+            )
+        with pytest.raises(exc_type) as old_exc:
+            legacy.legacy_run_schedule_sweep(
+                graph, [(0, 3, MirrorSchedule())], algo, max_events=50
+            )
+        assert str(new_exc.value) == str(old_exc.value)
+
+
+def test_fuel_limit_parity():
+    """Wait-forever starvation raises identically in both engines."""
+
+    def waiter(percept):
+        while True:
+            percept = yield Wait()
+
+    graph = graph_pool()[1]
+    with pytest.raises(RuntimeError, match="fuel") as new_exc:
+        run_schedule_sweep(
+            graph, [(0, 2, MirrorSchedule())], waiter, max_events=10, fuel=64
+        )
+    with pytest.raises(RuntimeError, match="fuel") as old_exc:
+        load_legacy().legacy_run_schedule_sweep(
+            graph, [(0, 2, MirrorSchedule())], waiter, max_events=10, fuel=64
+        )
+    assert str(new_exc.value) == str(old_exc.value)

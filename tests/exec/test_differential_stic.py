@@ -1,0 +1,167 @@
+"""Differential fuzz: the unified synchronous STIC sweep against the
+frozen pre-refactor engine (and the retained scalar scheduler).
+
+Every ``(graph, agent, STIC)`` instance must produce a bit-identical
+:class:`~repro.sim.scheduler.RendezvousResult` — full dataclass
+equality, every field — between :func:`repro.sim.batch.
+run_rendezvous_batch` (now a frontend over ``repro.exec``) and the
+pre-refactor loop preserved in ``benchmarks/_legacy_engines.py``.
+Error binding (which STIC an agent exception is raised for, and with
+what message) is part of the contract and fuzzed separately.
+"""
+
+import pytest
+
+from harness import (
+    assert_engines_identical,
+    graph_pool,
+    load_legacy,
+    seeded_agent,
+    stic_budget,
+    stic_corpus,
+    terminating_agent,
+)
+from repro.sim import Move
+from repro.sim.batch import run_rendezvous_batch
+from repro.sim.scheduler import run_rendezvous
+
+AGENT_SEEDS = (11, 23, 47)
+CASES = [
+    (graph_idx, agent_seed)
+    for graph_idx in range(len(graph_pool()))
+    for agent_seed in AGENT_SEEDS
+]
+
+
+def stic_case(graph_idx: int, agent_seed: int) -> str | None:
+    """One corpus cell: batch-vs-legacy on 12 STICs, full equality."""
+    graph, stics = stic_corpus(graph_idx, agent_seed)
+    new = run_rendezvous_batch(
+        graph, stics, seeded_agent(agent_seed), max_rounds=stic_budget
+    )
+    old = load_legacy().legacy_run_rendezvous_batch(
+        graph, stics, seeded_agent(agent_seed), max_rounds=stic_budget
+    )
+    for stic, a, b in zip(stics, new, old):
+        if a != b:
+            return f"stic {stic}: new={a} old={b}"
+    # Spot-check the retained scalar reference on the first few STICs.
+    for u, v, delta in stics[:4]:
+        ref = run_rendezvous(
+            graph,
+            u,
+            v,
+            delta,
+            seeded_agent(agent_seed),
+            max_rounds=stic_budget(u, v, delta),
+        )
+        got = new[stics.index((u, v, delta))]
+        fields = (
+            "met",
+            "meeting_node",
+            "meeting_time",
+            "time_from_later",
+            "rounds_executed",
+        )
+        for f in fields:
+            if getattr(got, f) != getattr(ref, f):
+                return f"stic {(u, v, delta)} scalar {f}: {got} vs {ref}"
+    return None
+
+
+def test_corpus_size():
+    """The acceptance bar: at least 200 fuzzed instances."""
+    total = sum(len(stic_corpus(g, s)[1]) for g, s in CASES)
+    assert total >= 200, total
+
+
+def test_batch_matches_legacy_and_scalar():
+    assert_engines_identical(stic_case, CASES, min_cases=len(CASES))
+
+
+def terminating_case(graph_idx: int, lifetime: int) -> str | None:
+    """Scripts that end mid-run exercise the complete-trace clamp."""
+    graph, stics = stic_corpus(graph_idx, 100 + lifetime)
+    algo = terminating_agent(3, lifetime)
+    new = run_rendezvous_batch(graph, stics, algo, max_rounds=stic_budget)
+    old = load_legacy().legacy_run_rendezvous_batch(
+        graph, stics, algo, max_rounds=stic_budget
+    )
+    for stic, a, b in zip(stics, new, old):
+        if a != b:
+            return f"stic {stic}: new={a} old={b}"
+    return None
+
+
+def test_terminating_agents_match():
+    cases = [(g, life) for g in (1, 3, 5) for life in (0, 1, 5, 17)]
+    assert_engines_identical(terminating_case, cases)
+
+
+@pytest.mark.parametrize("delta", [0, 3, 40])
+def test_error_binding_parity(delta):
+    """Agent errors bind to the same STIC with the same message."""
+
+    def explodes(percept):
+        for _ in range(6):
+            percept = yield Move(percept.clock % percept.degree)
+        raise RuntimeError("boom")
+
+    graph = graph_pool()[2]
+    stics = [(0, 3, delta)]
+    legacy = load_legacy()
+    new_exc = old_exc = None
+    try:
+        run_rendezvous_batch(graph, stics, explodes, max_rounds=50)
+    except Exception as exc:  # noqa: BLE001 - parity check
+        new_exc = (type(exc).__name__, str(exc))
+    try:
+        legacy.legacy_run_rendezvous_batch(graph, stics, explodes, max_rounds=50)
+    except Exception as exc:  # noqa: BLE001 - parity check
+        old_exc = (type(exc).__name__, str(exc))
+    assert new_exc == old_exc
+    assert new_exc is not None  # budget 50 reaches the failing round
+
+
+def test_bad_port_message_parity():
+    """Engine-detected invalid moves quote the scalar's global round."""
+
+    def bad(percept):
+        yield Move(0)
+        while True:
+            percept = yield Move(7)
+
+    graph = graph_pool()[1]
+    with pytest.raises(ValueError) as new_exc:
+        run_rendezvous_batch(graph, [(0, 2, 5)], bad, max_rounds=60)
+    with pytest.raises(ValueError) as old_exc:
+        load_legacy().legacy_run_rendezvous_batch(
+            graph, [(0, 2, 5)], bad, max_rounds=60
+        )
+    assert str(new_exc.value) == str(old_exc.value)
+
+
+def test_oracle_mode_matches_legacy():
+    """Per-start oracle tries survive the rewiring."""
+
+    def algorithm(percept, oracle):
+        while True:
+            percept = yield Move((percept.clock + oracle) % percept.degree)
+
+    graph = graph_pool()[3]
+    _, stics = stic_corpus(3, 7)
+    new = run_rendezvous_batch(
+        graph,
+        stics,
+        algorithm,
+        max_rounds=stic_budget,
+        oracle_factory=lambda start: start % 3,
+    )
+    old = load_legacy().legacy_run_rendezvous_batch(
+        graph,
+        stics,
+        algorithm,
+        max_rounds=stic_budget,
+        oracle_factory=lambda start: start % 3,
+    )
+    assert new == old

@@ -1,0 +1,155 @@
+"""Property tests for the trace IR itself (satellite: fuel accounting
+monotonicity, trace-deepening idempotence, meeting-detection symmetry).
+
+These are randomized invariants of :mod:`repro.exec` — not
+differential comparisons against another engine, but laws the IR must
+satisfy on every seeded instance Hypothesis generates:
+
+* **prefix/monotonicity**: deepening a compile extends the step
+  function without rewriting history — ``times``/``nodes`` of the
+  shallow trace are a prefix of the deep one's, ``moves`` and
+  ``valid_through`` never decrease, and the ``tail_waits`` fuel gauge
+  is exactly the wait-run length at the compiled frontier;
+* **idempotence**: compile-then-deepen lands on the bit-identical
+  arrays a fresh compile straight to the deep horizon produces;
+* **symmetry**: with no start delay the meeting relation is symmetric
+  — swapping the agents changes neither the meeting time nor the node
+  (and the asynchronous resolver is likewise swap-invariant under a
+  symmetric schedule).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from harness import graph_pool, seeded_agent
+from repro.exec.meeting import solve_sync_meeting
+from repro.exec.trace import TraceCompiler
+
+GRAPHS = graph_pool()
+
+graph_indices = st.integers(min_value=0, max_value=len(GRAPHS) - 1)
+agent_seeds = st.integers(min_value=0, max_value=10**6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph_idx=graph_indices,
+    agent_seed=agent_seeds,
+    start=st.integers(min_value=0, max_value=3),
+    shallow=st.integers(min_value=0, max_value=64),
+    extra=st.integers(min_value=1, max_value=192),
+)
+def test_deepening_is_a_prefix_extension(
+    graph_idx, agent_seed, start, shallow, extra
+):
+    graph = GRAPHS[graph_idx]
+    start %= graph.n
+    compiler = TraceCompiler(graph, seeded_agent(agent_seed))
+    t1 = compiler.trace(start, shallow)
+    t2 = compiler.trace(start, shallow + extra)
+    # Fuel/progress accounting is monotone in the horizon.
+    assert t2.moves >= t1.moves
+    assert t2.valid_through >= t1.valid_through
+    # The shallow step function is a prefix of the deep one.
+    k = len(t1.times)
+    assert np.array_equal(t2.times[:k], t1.times)
+    assert np.array_equal(t2.nodes[:k], t1.nodes)
+    # If no move happened in the extension, the wait run only grew.
+    if t2.moves == t1.moves and not t1.complete:
+        assert t2.tail_waits >= t1.tail_waits
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph_idx=graph_indices,
+    agent_seed=agent_seeds,
+    start=st.integers(min_value=0, max_value=3),
+    shallow=st.integers(min_value=0, max_value=64),
+    deep=st.integers(min_value=65, max_value=256),
+)
+def test_deepening_is_idempotent(graph_idx, agent_seed, start, shallow, deep):
+    """compile(h) then compile(H) defines the same step function over
+    ``[0, H]`` as a fresh compile straight to ``H``.
+
+    Bit-identity of the raw arrays is deliberately *not* asserted: a
+    ``WaitBlock`` may overshoot a horizon, letting a cached shallow
+    trace satisfy the deeper request without recompiling — its
+    ``valid_through``/``tail_waits`` frontier bookkeeping then lags a
+    fresh compile's, but every position the IR contract defines must
+    agree.
+    """
+    graph = GRAPHS[graph_idx]
+    start %= graph.n
+    stepped = TraceCompiler(graph, seeded_agent(agent_seed))
+    stepped.trace(start, shallow)
+    via_deepen = stepped.trace(start, deep)
+    direct = TraceCompiler(graph, seeded_agent(agent_seed)).trace(start, deep)
+    # Both traces cover the requested range unless the agent errored.
+    if via_deepen.error is None and direct.error is None:
+        assert via_deepen.limit >= deep
+        assert direct.limit >= deep
+    if via_deepen.error is not None and direct.error is not None:
+        assert str(via_deepen.error) == str(direct.error)
+        assert via_deepen.valid_through == direct.valid_through
+    horizon = int(min(deep, via_deepen.limit, direct.limit))
+    clocks = np.arange(horizon + 1)
+    pos_a = via_deepen.nodes[
+        np.searchsorted(via_deepen.times, clocks, side="right") - 1
+    ]
+    pos_b = direct.nodes[
+        np.searchsorted(direct.times, clocks, side="right") - 1
+    ]
+    assert np.array_equal(pos_a, pos_b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    graph_idx=graph_indices,
+    agent_seed=agent_seeds,
+    u=st.integers(min_value=0, max_value=8),
+    v=st.integers(min_value=0, max_value=8),
+    limit=st.integers(min_value=0, max_value=400),
+)
+def test_sync_meeting_is_symmetric_at_zero_delay(
+    graph_idx, agent_seed, u, v, limit
+):
+    graph = GRAPHS[graph_idx]
+    u %= graph.n
+    v %= graph.n
+    compiler = TraceCompiler(graph, seeded_agent(agent_seed))
+    traces = compiler.traces({u: limit, v: limit})
+    hit_uv = solve_sync_meeting(traces[u], traces[v], 0, limit)
+    hit_vu = solve_sync_meeting(traces[v], traces[u], 0, limit)
+    assert hit_uv == hit_vu
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    graph_idx=graph_indices,
+    agent_seed=agent_seeds,
+    u=st.integers(min_value=0, max_value=8),
+    v=st.integers(min_value=0, max_value=8),
+    budget=st.integers(min_value=0, max_value=200),
+)
+def test_async_resolution_is_symmetric_under_mirror(
+    graph_idx, agent_seed, u, v, budget
+):
+    """Under the symmetric lockstep adversary, swapping the agents
+    cannot change the outcome of a cell."""
+    from repro.sim.schedule_adversary import MirrorSchedule, run_schedule_sweep
+
+    graph = GRAPHS[graph_idx]
+    u %= graph.n
+    v %= graph.n
+    algo = seeded_agent(agent_seed)
+    sched = MirrorSchedule()
+    fwd, rev = run_schedule_sweep(
+        graph, [(u, v, sched), (v, u, sched)], algo, max_events=budget
+    )
+    assert (fwd.met, fwd.meeting_node, fwd.events, fwd.edge_meetings) == (
+        rev.met,
+        rev.meeting_node,
+        rev.events,
+        rev.edge_meetings,
+    )
