@@ -371,6 +371,103 @@ def _check_symmetry_kernel(graph_spec: dict, seed: int, knobs: dict) -> CheckRes
     )
 
 
+def _check_sparse_symmetry(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
+    """The sparse/blocked symmetry paths vs the retained scalar references.
+
+    Exercises exactly the engines the dense kernel no longer goes
+    through for huge graphs: the frontier-compressed multi-source BFS
+    (:meth:`SymmetryContext.distances_block`), the batched per-pair
+    product BFS (:meth:`SymmetryContext.shrink_pairs`), the blocked
+    worklist value iteration (:meth:`SymmetryContext.shrink_all_into`),
+    and the color-bucketed symmetric-pair arrays — each against the
+    scalar BFS / product-BFS / refinement references, on fresh contexts
+    so nothing is served from a dense cache.
+    """
+    graph = build_graph(graph_spec)
+    n = graph.n
+    rng = SplitMix64(derive_seed("campaign-check", "sparse-symmetry", seed))
+    ctx = _fresh_context(graph)
+    comparisons = 0
+
+    rows = [rng.randrange(n) for _ in range(min(n, int(knobs["max_pairs"])))]
+    block = ctx.distances_block(rows)
+    for slot, source in enumerate(rows):
+        comparisons += 1
+        if not np.array_equal(block[slot], graph.distances_from_reference(source)):
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"distances_block row {source}: blocked BFS != "
+                    f"scalar reference BFS"
+                ),
+            )
+
+    pairs = _sample_pairs(n, rng, int(knobs["max_pairs"]))
+    us = np.asarray([u for u, _ in pairs], dtype=np.int64)
+    vs = np.asarray([v for _, v in pairs], dtype=np.int64)
+    values = ctx.shrink_pairs(us, vs, pair_chunk=3)
+    for (u, v), value in zip(pairs, values.tolist()):
+        comparisons += 1
+        ref_value, _ref_alpha, _ref_pair = shrink_witness_reference(graph, u, v)
+        if value != ref_value:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"shrink_pairs({u},{v}): batched product BFS {value}"
+                    f" != scalar reference {ref_value}"
+                ),
+            )
+
+    blocked = _fresh_context(graph).shrink_all_into(block_size=max(1, n // 3))
+    comparisons += 1
+    if not np.array_equal(blocked, blocked.T) or (np.diagonal(blocked) != 0).any():
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail="blocked shrink_all_into: not symmetric with zero diagonal",
+        )
+    for (u, v), value in zip(pairs, values.tolist()):
+        comparisons += 1
+        if int(blocked[u, v]) != value:
+            return CheckResult(
+                ok=False,
+                comparisons=comparisons,
+                detail=(
+                    f"blocked shrink_all_into[{u},{v}]="
+                    f"{int(blocked[u, v])} != per-pair BFS {value}"
+                ),
+            )
+
+    colors = view_classes_reference(graph)
+    expected = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if colors[u] == colors[v]
+    ]
+    comparisons += 1
+    if ctx.symmetric_pairs() != expected:
+        return CheckResult(
+            ok=False,
+            comparisons=comparisons,
+            detail=(
+                "color-bucketed symmetric_pairs() != pairs of the scalar "
+                "view partition"
+            ),
+        )
+    return CheckResult(
+        ok=True,
+        comparisons=comparisons,
+        summary={
+            "n": n,
+            "sampled_pairs": len(pairs),
+            "max_shrink_sampled": max(values.tolist()) if pairs else None,
+        },
+    )
+
+
 def _check_uxs_cover(graph_spec: dict, seed: int, knobs: dict) -> CheckResult:
     graph = build_graph(graph_spec)
     n = graph.n
@@ -877,6 +974,13 @@ _CHECKS = [
         "differential",
         "array symmetry kernel vs scalar refinement/BFS references",
         _check_symmetry_kernel,
+    ),
+    CampaignCheck(
+        "differential/sparse-symmetry",
+        "differential",
+        "blocked BFS / batched Shrink / worklist iteration vs scalar "
+        "references",
+        _check_sparse_symmetry,
     ),
     CampaignCheck(
         "differential/uxs-cover",

@@ -254,41 +254,84 @@ def covered_counts(
     chunk: int = 512,
     stop_when_all_covered: bool = True,
     backend: ArrayBackend | None = None,
+    block_size: int | None = None,
 ) -> np.ndarray:
     """Distinct nodes visited by the application of ``seq`` from each
     start node (vector of length ``n``).
 
-    The multi-start walk advances all ``n`` applications in lockstep —
+    The multi-start walk advances a block of start lanes in lockstep —
     one gather per UXS term — recording darts into a chunk buffer that
     is folded into the per-start visited sets every ``chunk`` steps.
-    With ``stop_when_all_covered`` (the default) the walk exits as soon
-    as every walk has covered the graph, so certification cost is
-    bounded by the graph's actual cover time, not the sequence length.
-    The sequence is consumed chunk by chunk (no up-front conversion of
-    a multi-million-term tuple); offsets beyond the symbol table's
-    range take the per-step reduction path (:meth:`DartWalkTable.
-    step_direct`), so memory never scales with the offset values.
+    With ``stop_when_all_covered`` (the default) a block exits as soon
+    as every one of its walks has covered the graph, so certification
+    cost is bounded by the graph's actual cover time, not the sequence
+    length.  The sequence is consumed chunk by chunk (no up-front
+    conversion of a multi-million-term tuple); offsets beyond the
+    symbol table's range take the per-step reduction path
+    (:meth:`DartWalkTable.step_direct`), so memory never scales with
+    the offset values.
+
+    ``block_size`` bounds the per-start state: lanes run in blocks of
+    at most that many starts, so peak memory is ``O(block * n)``
+    visited bits instead of ``O(n^2)`` — the scale path for huge
+    graphs.  The default (one block of all ``n`` starts) matches the
+    historical behavior; counts are per-lane independent, hence
+    bit-identical for every block split.
     """
     xp = backend if backend is not None else default_backend()
     n = graph.n
     if n == 1:
         return xp.asarray([1], dtype=np.int64)
+    if block_size is not None and block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
     table = DartWalkTable(graph, max(2 * n, 2), backend=xp)
+    block = n if block_size is None else min(int(block_size), n)
+    start_darts = table.start_darts()
+    counts = xp.empty(n, dtype=np.int64)
+    for lane0 in range(0, n, block):
+        lane1 = min(lane0 + block, n)
+        counts[lane0:lane1] = _covered_counts_lanes(
+            table,
+            start_darts,
+            lane0,
+            lane1,
+            seq,
+            chunk,
+            stop_when_all_covered,
+            xp,
+        )
+    return counts
+
+
+def _covered_counts_lanes(
+    table: DartWalkTable,
+    start_darts: np.ndarray,
+    lane0: int,
+    lane1: int,
+    seq: Sequence[int],
+    chunk: int,
+    stop_when_all_covered: bool,
+    xp: ArrayBackend,
+) -> np.ndarray:
+    """Coverage counts for start lanes ``lane0 .. lane1 - 1``."""
+    graph = table.graph
+    n = graph.n
     md = table.max_degree
     transitions = table.transitions
     take = xp.take
+    width = lane1 - lane0
 
-    visited = xp.zeros((n, n), dtype=bool)
-    lanes = xp.arange(n)
-    visited[lanes, lanes] = True
+    visited = xp.zeros((width, n), dtype=bool)
+    local = xp.arange(width)
+    visited[local, xp.arange(lane0, lane1)] = True
 
-    darts = table.start_darts()
-    visited[lanes, darts // md] = True
+    darts = start_darts[lane0:lane1]
+    visited[local, darts // md] = True
     if stop_when_all_covered and visited.all():
         return visited.sum(axis=1)
 
-    buffer = xp.empty((chunk, n), dtype=np.int64)
-    lane_base = lanes * n
+    buffer = xp.empty((chunk, width), dtype=np.int64)
+    lane_base = local * n
     visited_flat = visited.reshape(-1)
     position = 0
     total = len(seq)
@@ -325,14 +368,20 @@ def is_uxs_for_graph_vectorized(
     seq: Sequence[int],
     *,
     backend: ArrayBackend | None = None,
+    block_size: int | None = None,
 ) -> bool:
     """Certify ``seq`` on one graph: coverage from *every* start node.
 
     Same answer as the scalar per-start certification, computed as one
-    multi-start walk with an early exit on full coverage.
+    multi-start walk with an early exit on full coverage.  Pass
+    ``block_size`` to bound working memory at ``O(block * n)`` on huge
+    graphs (see :func:`covered_counts`).
     """
     if graph.n == 1:
         return True
     return bool(
-        (covered_counts(graph, seq, backend=backend) == graph.n).all()
+        (
+            covered_counts(graph, seq, backend=backend, block_size=block_size)
+            == graph.n
+        ).all()
     )

@@ -1,0 +1,64 @@
+"""CSR (compressed sparse row) helpers shared by the graph hot paths.
+
+The dense ``(n, max_degree)`` successor tables of
+:class:`~repro.graphs.port_graph.PortLabeledGraph` are the right shape
+for port-indexed gathers (one column per port), but frontier-style
+traversals — BFS from one or many sources, neighbor expansion of a
+changed-row worklist — want the classic ``indptr``/``indices`` CSR
+pair: neighbors of ``v`` are ``indices[indptr[v]:indptr[v + 1]]``, in
+port order, with no ``-1`` padding to mask out.  Memory is ``O(n + m)``
+instead of ``O(n * max_degree)``, and a whole frontier expands with two
+gathers (:func:`repeat_ranges` + one ``indices`` take) instead of a
+dense matrix product.
+
+These helpers are dependency-free so both :mod:`repro.graphs` and the
+symmetry kernel (:mod:`repro.symmetry.context`) can share them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["repeat_ranges", "expand_frontier"]
+
+
+def repeat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start + count)`` for each pair.
+
+    The standard vectorized "gather the slice of every frontier node"
+    index builder: with CSR ``starts = indptr[nodes]`` and ``counts``
+    the node degrees, ``indices[repeat_ranges(starts, counts)]`` is the
+    concatenation of every node's neighbor list, in node-then-port
+    order.  int64 in, int64 out; empty inputs yield an empty array.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Exclusive prefix sum of counts = where each range begins in the
+    # flat output; subtracting it from a global arange recovers the
+    # per-range offsets 0..count-1.
+    bounds = np.cumsum(counts)
+    origins = np.repeat(bounds - counts, counts)
+    return np.repeat(np.asarray(starts, dtype=np.int64), counts) + (
+        np.arange(total, dtype=np.int64) - origins
+    )
+
+
+def expand_frontier(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Neighbors of every frontier node, with their source positions.
+
+    Returns ``(origins, targets)`` where ``targets`` is the
+    concatenation of each node's CSR neighbor list and ``origins[i]``
+    is the position *within* ``nodes`` that produced ``targets[i]`` —
+    the hook multi-source BFS uses to tag expansions with their BFS
+    slot.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    origins = np.repeat(np.arange(len(nodes), dtype=np.int64), counts)
+    targets = indices[repeat_ranges(starts, counts)]
+    return origins, targets

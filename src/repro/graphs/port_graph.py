@@ -23,6 +23,8 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.graphs.csr import repeat_ranges
+
 __all__ = ["PortLabeledGraph", "Edge"]
 
 #: An undirected port-labeled edge ``(u, port_at_u, v, port_at_v)``.
@@ -56,6 +58,7 @@ class PortLabeledGraph:
         "_succ_node",
         "_succ_port",
         "_max_degree",
+        "_csr_cache",
         "_canonical_cache",
         "_hash_cache",
     )
@@ -63,13 +66,99 @@ class PortLabeledGraph:
     def __init__(self, n: int, edges: Iterable[Edge], *, validate: bool = True) -> None:
         if n <= 0:
             raise ValueError(f"graph must have at least one node, got n={n}")
-        edge_list = [tuple(int(x) for x in e) for e in edges]
+        self._n = n
+        self._edges = self._coerce_edges(edges)
+
+        # Vectorized happy path (bincount degrees + one fancy-indexed
+        # table fill); any axiom violation falls back to the scalar
+        # build, which re-detects the problem edge *in input order* and
+        # raises the exact per-edge message the scalar path always has.
+        tables = self._build_tables_vectorized()
+        if tables is None:
+            tables = self._build_tables_scalar()
+        degrees, succ_node, succ_port = tables
+
+        self._degrees = degrees
+        self._succ_node = succ_node
+        self._succ_port = succ_port
+        self._max_degree = int(degrees.max()) if n > 0 else 0
+        self._csr_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._canonical_cache: tuple[Edge, ...] | None = None
+        self._hash_cache: int | None = None
+
+        if validate:
+            self._validate_simple()
+            self._validate_connected()
+
+    @staticmethod
+    def _coerce_edges(edges: Iterable[Edge]) -> tuple[Edge, ...]:
+        """Normalize ``edges`` to a tuple of int 4-tuples.
+
+        Tries one bulk ``np.asarray`` cast first; irregular input
+        (ragged rows, non-numeric entries) drops to the scalar
+        conversion, which raises the historical per-edge messages.
+        """
+        edge_seq = edges if isinstance(edges, (list, tuple)) else list(edges)
+        if edge_seq:
+            arr: np.ndarray | None
+            try:
+                arr = np.asarray(edge_seq, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                arr = None
+            if arr is not None and arr.ndim == 2 and arr.shape[1] == 4:
+                return tuple(tuple(row) for row in arr.tolist())  # type: ignore[return-value]
+        edge_list = [tuple(int(x) for x in e) for e in edge_seq]
         for e in edge_list:
             if len(e) != 4:
                 raise ValueError(f"edge must be (u, p_u, v, p_v), got {e}")
-        self._n = n
-        self._edges: tuple[Edge, ...] = tuple(edge_list)  # type: ignore[assignment]
+        return tuple(edge_list)  # type: ignore[return-value]
 
+    def _build_tables_vectorized(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Build (degrees, succ_node, succ_port) without Python loops.
+
+        Returns ``None`` when any port-labeling axiom fails — the
+        caller then re-runs the scalar build purely for its exact,
+        input-ordered error reporting.
+        """
+        n = self._n
+        if not self._edges:
+            degrees = np.zeros(n, dtype=np.int64)
+            shape = (n, 1)
+            return degrees, np.full(shape, -1, np.int64), np.full(shape, -1, np.int64)
+        arr = np.asarray(self._edges, dtype=np.int64)
+        u, pu, v, pv = arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]
+        endpoints = np.concatenate([u, v])
+        if (endpoints < 0).any() or (endpoints >= n).any() or (u == v).any():
+            return None
+        degrees = np.bincount(endpoints, minlength=n).astype(np.int64, copy=False)
+        max_degree = int(degrees.max())
+
+        # Both directed half-edges of every undirected edge: the table
+        # row is the *from* node, the column its outgoing port.
+        rows = endpoints
+        ports = np.concatenate([pu, pv])
+        targets = np.concatenate([v, u])
+        target_ports = np.concatenate([pv, pu])
+        if (ports < 0).any() or (ports >= degrees[rows]).any():
+            return None
+        keys = rows * np.int64(max_degree) + ports
+        if len(np.unique(keys)) != len(keys):  # some port assigned twice
+            return None
+
+        shape = (n, max(max_degree, 1))
+        succ_node = np.full(shape, -1, dtype=np.int64)
+        succ_port = np.full(shape, -1, dtype=np.int64)
+        succ_node[rows, ports] = targets
+        succ_port[rows, ports] = target_ports
+        return degrees, succ_node, succ_port
+
+    def _build_tables_scalar(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference scalar build: detects violations edge by edge, in
+        input order, with the messages the constructor has always
+        raised.  Only reached when the vectorized build bails."""
+        n = self._n
         degrees = np.zeros(n, dtype=np.int64)
         for u, _pu, v, _pv in self._edges:
             if not (0 <= u < n and 0 <= v < n):
@@ -94,17 +183,7 @@ class PortLabeledGraph:
                     raise ValueError(f"port {pa} at node {a} assigned twice")
                 succ_node[a, pa] = b
                 succ_port[a, pa] = pb
-
-        self._degrees = degrees
-        self._succ_node = succ_node
-        self._succ_port = succ_port
-        self._max_degree = max_degree
-        self._canonical_cache: tuple[Edge, ...] | None = None
-        self._hash_cache: int | None = None
-
-        if validate:
-            self._validate_simple()
-            self._validate_connected()
+        return degrees, succ_node, succ_port
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -138,6 +217,34 @@ class PortLabeledGraph:
     def succ_port_array(self) -> np.ndarray:
         """Dense ``(n, max_degree)`` entry-port table (-1 padded)."""
         return self._succ_port
+
+    @property
+    def csr_indptr(self) -> np.ndarray:
+        """CSR row pointer: neighbors of ``v`` live at
+        ``csr_indices[csr_indptr[v]:csr_indptr[v + 1]]`` (read-only)."""
+        return self._csr()[0]
+
+    @property
+    def csr_indices(self) -> np.ndarray:
+        """CSR neighbor array, per-node slices in port order (read-only)."""
+        return self._csr()[1]
+
+    def _csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``O(n + m)`` CSR adjacency.
+
+        Built lazily from the dense successor table: dropping the
+        ``-1`` padding row-major keeps each node's neighbors in port
+        order, so CSR traversals and port-indexed gathers agree on
+        neighbor enumeration order.
+        """
+        if self._csr_cache is None:
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(self._degrees, out=indptr[1:])
+            indices = self._succ_node[self._succ_node >= 0]
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            self._csr_cache = (indptr, indices)
+        return self._csr_cache
 
     def degree(self, v: int) -> int:
         """Degree of node ``v``."""
@@ -200,7 +307,38 @@ class PortLabeledGraph:
     # Metrics and export
     # ------------------------------------------------------------------
     def distances_from(self, source: int) -> np.ndarray:
-        """BFS distances from ``source`` (vector of length ``n``)."""
+        """BFS distances from ``source`` (vector of length ``n``).
+
+        Runs on the cached CSR adjacency: each level expands the whole
+        frontier with two gathers, so the cost is ``O(n + m)`` array
+        work with no per-node Python.  Values are bit-identical to
+        :meth:`distances_from_reference` (BFS levels do not depend on
+        expansion order).
+        """
+        n = self._n
+        given = int(source)
+        source = given + n if given < 0 else given
+        if not 0 <= source < n:
+            raise IndexError(f"source {given} out of range for n={n}")
+        indptr, indices = self._csr()
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            starts = indptr[frontier]
+            reached = indices[repeat_ranges(starts, indptr[frontier + 1] - starts)]
+            reached = reached[dist[reached] == -1]
+            if reached.size == 0:
+                break
+            frontier = np.unique(reached)
+            dist[frontier] = level
+        return dist
+
+    def distances_from_reference(self, source: int) -> np.ndarray:
+        """Retained scalar BFS — the differential baseline for
+        :meth:`distances_from` and the blocked symmetry-kernel BFS."""
         dist = np.full(self._n, -1, dtype=np.int64)
         dist[source] = 0
         frontier = [source]

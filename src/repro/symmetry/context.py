@@ -1,5 +1,5 @@
 """Per-graph symmetry kernel: views, distances, and all-pairs Shrink
-computed once, in numpy.
+computed once, in numpy — with a sparse/blocked path for huge graphs.
 
 The scalar analysis layer re-derives symmetry data per call:
 :func:`repro.symmetry.views.view_classes` walks a tuple-dict refinement
@@ -14,24 +14,36 @@ therefore pay ``O(n^2)`` scalar reconstructions of the same facts.
   ``np.unique`` over per-node signature rows per round, renumbered by
   first occurrence so the colors are bit-identical to
   :func:`~repro.symmetry.views.view_classes`;
-* **all-pairs distances** by frontier BFS from all sources at once
-  (one boolean matrix product per BFS level);
-* **all-pairs Shrink** by value iteration on the ``n^2``-state product
-  graph: start from the distance matrix and relax
-  ``S[x, y] <- min(S[x, y], S[succ(x, p), succ(y, p)])`` with one
-  gather per port per sweep until the (unique, monotone) fixpoint —
-  every pair is solved simultaneously instead of one BFS per pair.
+* **distances** by frontier-compressed multi-source BFS over the
+  graph's CSR adjacency, computed in *source blocks*
+  (:meth:`~SymmetryContext.distances_block`) so working memory is
+  ``O(m + block * n)``; the dense :attr:`~SymmetryContext.distances`
+  property is a thin blockwise materialization of the same engine;
+* **Shrink** two ways, both exact: blocked all-pairs value iteration
+  with an active-row worklist (:meth:`~SymmetryContext.shrink_all_into`,
+  backing :attr:`~SymmetryContext.shrink_all`), and batched per-pair
+  product-graph BFS (:meth:`~SymmetryContext.shrink_pairs`) that never
+  allocates anything ``n x n`` — the scale path for graphs where the
+  full matrix cannot exist.
+
+Bit-identity across all of these paths is structural, and enforced by
+the differential suites (``tests/symmetry/test_context_differential.py``,
+``tests/symmetry/test_blocked_differential.py``): BFS levels do not
+depend on expansion order, and the Shrink fixpoint — the minimum of
+``dist(x, y)`` over pairs reachable in the product graph — is unique
+and monotone, so any fair relaxation schedule (dense sweeps, blocked
+worklist, per-pair BFS) lands on identical int64 values.
 
 Derived products (symmetric pairs, per-pair feasibility verdicts,
 witness reconstruction) are served from the cached arrays.  The scalar
 functions in :mod:`~repro.symmetry.views`, :mod:`~repro.symmetry.shrink`
 and :mod:`~repro.symmetry.feasibility` are thin wrappers over this
-kernel; their outputs are unchanged (enforced by the differential
-suite in ``tests/symmetry/test_context_differential.py``).
+kernel; their outputs are unchanged.
 
-Contexts are memoized per graph (keyed by graph equality) in a small
-LRU, so repeated scalar-style calls on the same graph hit the kernel's
-arrays instead of recomputing.
+Contexts are memoized per graph (keyed by graph equality) in an LRU
+bounded by **approximate retained bytes** (default 256 MiB, see
+:func:`set_context_cache_limit`), so one huge dense kernel cannot pin
+dozens of others.
 """
 
 from __future__ import annotations
@@ -41,13 +53,35 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.graphs.csr import repeat_ranges
 from repro.graphs.port_graph import PortLabeledGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (feasibility
     # imports this module at runtime; see verdict()).
     from repro.symmetry.feasibility import FeasibilityVerdict
 
-__all__ = ["SymmetryContext", "symmetry_context"]
+__all__ = [
+    "SymmetryContext",
+    "symmetry_context",
+    "set_context_cache_limit",
+    "context_cache_bytes",
+    "clear_context_cache",
+]
+
+#: Default number of BFS sources / Shrink rows processed per block when
+#: materializing dense arrays.  Working memory per block is
+#: ``O(block * n)`` int64.
+_DEFAULT_BLOCK = 512
+
+#: Default number of (u, v) pairs batched into one product-graph BFS by
+#: :meth:`SymmetryContext.shrink_pairs`.
+_DEFAULT_PAIR_CHUNK = 32
+
+#: Default cap on product-graph states visited by one
+#: :meth:`SymmetryContext.shrink_pairs` chunk (int64 keys; the cap
+#: bounds peak working memory at roughly ``3 * 8 * budget`` bytes
+#: through the sort/merge steps).
+_DEFAULT_STATE_BUDGET = 50_000_000
 
 
 def _rank_by_first_occurrence(first_index: np.ndarray) -> np.ndarray:
@@ -80,6 +114,23 @@ def _canonical_codes_rows(rows: np.ndarray) -> np.ndarray:
     return _rank_by_first_occurrence(first)[inverse.reshape(-1)]
 
 
+def _in_sorted(sorted_arr: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership mask of ``values`` in an ascending int64 array."""
+    if sorted_arr.size == 0:
+        return np.zeros(len(values), dtype=bool)
+    pos = np.searchsorted(sorted_arr, values)
+    pos[pos == len(sorted_arr)] = len(sorted_arr) - 1
+    return sorted_arr[pos] == values
+
+
+def _as_index_array(values: object, n: int, what: str) -> np.ndarray:
+    """Validate node indices as a 1-D int64 array in ``[0, n)``."""
+    arr = np.asarray(values, dtype=np.int64).reshape(-1)
+    if arr.size and ((arr < 0).any() or (arr >= n).any()):
+        raise ValueError(f"{what} must lie in 0..{n - 1}")
+    return arr
+
+
 class SymmetryContext:
     """All symmetry facts of one port-labeled graph, as numpy arrays.
 
@@ -87,6 +138,12 @@ class SymmetryContext:
     all-pairs Shrink matrix are computed lazily on first access (the
     color partition alone serves many callers).  Use
     :func:`symmetry_context` to share contexts across call sites.
+
+    For graphs too large for any dense ``n x n`` array, use the blocked
+    API instead of the dense properties: :meth:`distances_block`,
+    :meth:`shrink_pairs`, :meth:`shrink_block`,
+    :meth:`verdicts_for_pairs`, and :meth:`shrink_all_into` with a
+    memory-mapped output.
     """
 
     __slots__ = ("graph", "_colors", "_distances", "_shrink")
@@ -139,62 +196,130 @@ class SymmetryContext:
         """True iff ``u`` and ``v`` have equal views."""
         return bool(self._colors[u] == self._colors[v])
 
+    def _color_groups(self) -> list[np.ndarray]:
+        """Nodes grouped by color: canonical color order, members
+        ascending.  ``O(n log n)`` — no dense ``n x n`` mask."""
+        order = np.argsort(self._colors, kind="stable")
+        sorted_colors = self._colors[order]
+        cuts = np.flatnonzero(sorted_colors[1:] != sorted_colors[:-1]) + 1
+        return np.split(order, cuts)
+
+    def symmetric_pair_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All unordered symmetric pairs as ``(us, vs)`` int64 arrays.
+
+        Same pairs, same (row-major ``u`` then ``v``) order as
+        :meth:`symmetric_pairs`, built by color bucketing in
+        ``O(n log n + output)`` instead of an ``n x n`` mask.
+        """
+        groups = [g for g in self._color_groups() if len(g) > 1]
+        if not groups:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        us_parts = []
+        vs_parts = []
+        for members in groups:
+            iu, iv = np.triu_indices(len(members), k=1)
+            us_parts.append(members[iu])
+            vs_parts.append(members[iv])
+        us = np.concatenate(us_parts)
+        vs = np.concatenate(vs_parts)
+        order = np.lexsort((vs, us))
+        return us[order], vs[order]
+
     def symmetric_pairs(self) -> list[tuple[int, int]]:
         """All unordered pairs ``u < v`` of distinct symmetric nodes."""
-        colors = self._colors
-        same = colors[:, None] == colors[None, :]
-        us, vs = np.nonzero(np.triu(same, k=1))
-        return [(int(u), int(v)) for u, v in zip(us, vs)]
+        us, vs = self.symmetric_pair_arrays()
+        return list(zip(us.tolist(), vs.tolist()))
 
     def orbits(self) -> list[list[int]]:
         """Nodes grouped by view color, in canonical color order."""
-        groups: dict[int, list[int]] = {}
-        for v, c in enumerate(self._colors):
-            groups.setdefault(int(c), []).append(v)
-        return [groups[c] for c in sorted(groups)]
+        return [group.tolist() for group in self._color_groups()]
 
     # ------------------------------------------------------------------
-    # Distances (frontier BFS from all sources at once)
+    # Distances (blocked frontier-compressed multi-source BFS)
     # ------------------------------------------------------------------
+    def _bfs_block(self, sources: np.ndarray) -> np.ndarray:
+        """BFS distances from every node of ``sources`` at once.
+
+        Frontier compression: the live frontier is a flat array of
+        ``slot * n + node`` keys (slot = position within ``sources``),
+        expanded per level with two CSR gathers and deduplicated with
+        one ``np.unique``.  Working memory is ``O(block * n)`` for the
+        output plus ``O(frontier edges)`` transient — no dense
+        adjacency, no matmul.
+        """
+        graph = self.graph
+        n = graph.n
+        indptr = graph.csr_indptr
+        indices = graph.csr_indices
+        sources = np.asarray(sources, dtype=np.int64)
+        block = len(sources)
+        dist = np.full((block, n), -1, dtype=np.int64)
+        slots = np.arange(block, dtype=np.int64)
+        dist[slots, sources] = 0
+        frontier_slot = slots
+        frontier_node = sources
+        level = 0
+        while frontier_node.size:
+            level += 1
+            starts = indptr[frontier_node]
+            counts = indptr[frontier_node + 1] - starts
+            origins = np.repeat(frontier_slot, counts)
+            targets = indices[repeat_ranges(starts, counts)]
+            fresh = dist[origins, targets] == -1
+            origins = origins[fresh]
+            targets = targets[fresh]
+            if origins.size == 0:
+                break
+            keys = np.unique(origins * np.int64(n) + targets)
+            frontier_slot = keys // n
+            frontier_node = keys - frontier_slot * n
+            dist[frontier_slot, frontier_node] = level
+        return dist
+
+    def distances_block(self, rows: object) -> np.ndarray:
+        """BFS distance rows for ``rows`` (fresh ``(len(rows), n)``).
+
+        The blocked entry point: computes only the requested source
+        rows, in ``O(m + len(rows) * n)`` memory.  Served as a slice of
+        the dense matrix when that is already materialized.
+        """
+        sources = _as_index_array(rows, self.graph.n, "distance rows")
+        if self._distances is not None:
+            return np.array(self._distances[sources])
+        return self._bfs_block(sources)
+
     @property
     def distances(self) -> np.ndarray:
         """All-pairs shortest-path distances (``n x n``, computed once).
 
-        The array is shared and marked read-only — mutating it would
-        poison the memoized kernel; copy before editing.
+        A thin materialization of :meth:`distances_block` — the dense
+        matrix is filled block of sources by block of sources, so the
+        only ``n x n`` allocation is the result itself.  The array is
+        shared and marked read-only — mutating it would poison the
+        memoized kernel; copy before editing.
         """
         if self._distances is None:
-            self._distances = self._compute_distances()
+            n = self.graph.n
+            dist = np.empty((n, n), dtype=np.int64)
+            block = min(n, _DEFAULT_BLOCK)
+            for start in range(0, n, block):
+                stop = min(start + block, n)
+                dist[start:stop] = self._bfs_block(
+                    np.arange(start, stop, dtype=np.int64)
+                )
+            self._distances = dist
             self._distances.setflags(write=False)
         return self._distances
 
-    def _compute_distances(self) -> np.ndarray:
-        graph = self.graph
-        n = graph.n
-        succ = graph.succ_node_array
-        # int64 accumulators: a uint8 matmul would wrap mod 256 and
-        # drop nodes whose frontier in-degree is a multiple of 256.
-        adjacency = np.zeros((n, n), dtype=np.int64)
-        valid = succ >= 0
-        rows = np.repeat(np.arange(n), succ.shape[1])[valid.ravel()]
-        adjacency[rows, succ[valid]] = 1
-
-        dist = np.full((n, n), -1, dtype=np.int64)
-        np.fill_diagonal(dist, 0)
-        frontier = np.eye(n, dtype=np.int64)
-        level = 0
-        while True:
-            level += 1
-            reached = (frontier @ adjacency) > 0
-            new = reached & (dist == -1)
-            if not new.any():
-                break
-            dist[new] = level
-            frontier = new.astype(np.int64)
-        return dist
+    def _distance_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Internal: distance rows, from the cache when present."""
+        if self._distances is not None:
+            return self._distances[rows]
+        return self._bfs_block(rows)
 
     # ------------------------------------------------------------------
-    # All-pairs Shrink (value iteration on the product graph)
+    # All-pairs Shrink (blocked value iteration, active-row worklist)
     # ------------------------------------------------------------------
     @property
     def shrink_all(self) -> np.ndarray:
@@ -204,46 +329,257 @@ class SymmetryContext:
         both nodes (the paper's definition on symmetric pairs, where
         degrees agree along the way).  Symmetric by construction;
         0 on the diagonal.  Shared and read-only, like
-        :attr:`distances`.
+        :attr:`distances`.  Materialized through
+        :meth:`shrink_all_into`.
         """
         if self._shrink is None:
-            self._shrink = self._compute_shrink()
+            self._shrink = self.shrink_all_into()
             self._shrink.setflags(write=False)
         return self._shrink
 
-    def _compute_shrink(self) -> np.ndarray:
+    def shrink_all_into(
+        self, out: np.ndarray | None = None, *, block_size: int | None = None
+    ) -> np.ndarray:
+        """Fill ``out`` with the all-pairs Shrink matrix, blockwise.
+
+        Value iteration on the ``n^2``-state product graph, processed
+        in row blocks with an **active-row worklist**: row ``x`` of the
+        matrix depends only on rows ``succ(x, p)`` (the graph neighbors
+        of ``x``), so after a sweep only the neighbors of rows that
+        changed need relaxing again.  Sparse graphs therefore converge
+        in near-output time instead of re-sweeping all ``n`` rows until
+        global quiescence.
+
+        ``out`` may be any writable int64 ``(n, n)`` array — in
+        particular a ``np.lib.format.open_memmap`` result, which keeps
+        resident working memory at ``O(m + block * n)`` while the full
+        matrix lives on disk.  The fixpoint is unique and monotone, so
+        the result is bit-identical to the dense kernel regardless of
+        ``block_size`` or sweep order.
+        """
         graph = self.graph
-        succ = graph.succ_node_array
-        values = self.distances.copy()
-        port_pairs = []
-        for p in range(succ.shape[1]):
-            targets = succ[:, p]
-            valid = targets >= 0
-            if not valid.any():  # pragma: no cover - max_degree is tight
-                continue
-            port_pairs.append(
-                (
-                    np.where(valid, targets, 0),
-                    valid[:, None] & valid[None, :],
-                )
+        n = graph.n
+        if out is None:
+            out = np.empty((n, n), dtype=np.int64)
+        if out.shape != (n, n) or out.dtype != np.int64:
+            raise ValueError(
+                f"out must be an int64 array of shape {(n, n)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        block = min(n, int(block_size) if block_size is not None else _DEFAULT_BLOCK)
+        if block <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+
+        # Start from distances: Shrink(x, y) = min(dist(x, y),
+        # min_p Shrink(succ(x, p), succ(y, p))).
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            out[start:stop] = self._distance_rows(
+                np.arange(start, stop, dtype=np.int64)
             )
 
-        # Monotone fixpoint: Shrink(x, y) = min(dist(x, y),
-        # min_p Shrink(succ(x, p), succ(y, p))).  Each sweep relaxes
-        # every product edge once (one gather per port); values only
-        # decrease, so convergence is the exact minimum over the
-        # reachable set — the same quantity the per-pair BFS computes.
+        succ = graph.succ_node_array
+        valid_cols = succ >= 0  # valid_cols[y, p]: y has a port p
+        col_targets = np.where(valid_cols, succ, 0)
+        indptr = graph.csr_indptr
+        indices = graph.csr_indices
+        max_degree = succ.shape[1]
+
+        active = np.ones(n, dtype=bool)
         while True:
-            changed = False
-            for targets, mask in port_pairs:
-                pulled = values[np.ix_(targets, targets)]
-                improved = mask & (pulled < values)
-                if improved.any():
-                    values[improved] = pulled[improved]
-                    changed = True
-            if not changed:
+            changed = np.zeros(n, dtype=bool)
+            for start in range(0, n, block):
+                stop = min(start + block, n)
+                sel = active[start:stop]
+                if not sel.any():
+                    continue
+                rows = np.flatnonzero(sel).astype(np.int64) + start
+                values = np.array(out[rows])
+                row_changed = np.zeros(len(rows), dtype=bool)
+                for p in range(max_degree):
+                    row_targets = succ[rows, p]
+                    has_port = row_targets >= 0
+                    if not has_port.any():
+                        continue
+                    # pulled[i, y] = S[succ(rows[i], p), succ(y, p)]
+                    pulled = np.asarray(out[row_targets[has_port]])[
+                        :, col_targets[:, p]
+                    ]
+                    sub = values[has_port]
+                    improved = valid_cols[:, p][None, :] & (pulled < sub)
+                    if improved.any():
+                        sub[improved] = pulled[improved]
+                        values[has_port] = sub
+                        row_changed[has_port] |= improved.any(axis=1)
+                if row_changed.any():
+                    hit = rows[row_changed]
+                    out[hit] = values[row_changed]
+                    changed[hit] = True
+            hits = np.flatnonzero(changed).astype(np.int64)
+            if hits.size == 0:
                 break
-        return values
+            # A changed row S[z, :] can only improve rows x with
+            # succ(x, p) == z for some p — the graph neighbors of z.
+            starts = indptr[hits]
+            neighbor_nodes = indices[repeat_ranges(starts, indptr[hits + 1] - starts)]
+            active = np.zeros(n, dtype=bool)
+            active[neighbor_nodes] = True
+        return out
+
+    def shrink_pairs(
+        self,
+        us: object,
+        vs: object,
+        *,
+        pair_chunk: int | None = None,
+        state_budget: int | None = None,
+    ) -> np.ndarray:
+        """Exact ``Shrink(u, v)`` for each listed pair, no dense arrays.
+
+        Batched BFS over the product graph, ``pair_chunk`` pairs per
+        batch, with live states as flat ``slot * n^2 + x * n + y`` keys
+        (``n^2`` fits int64 up to n ~ 3e6, far past the target scale).
+        Two exactness tricks keep huge graphs cheap:
+
+        * ``Shrink(u, v) == 0`` iff a diagonal state ``(z, z)`` is
+          product-reachable, so a pair finishes the moment its frontier
+          touches the diagonal — no distance lookups at all;
+        * pairs whose reach exhausts without touching the diagonal
+          evaluate ``min dist(x, y)`` over their visited states
+          *deferred*: states are grouped by left endpoint and distance
+          rows fetched blockwise through :meth:`distances_block`.
+
+        ``state_budget`` caps visited product states per batch; graphs
+        with giant symmetric reaches (e.g. large rings, where each
+        pair's reach is ``Theta(n)`` states and never shrinks to the
+        diagonal early) should lower ``pair_chunk`` or raise the
+        budget.  Raises :class:`ValueError` when the cap is hit.
+        """
+        n = self.graph.n
+        us_arr = _as_index_array(us, n, "pair endpoints")
+        vs_arr = _as_index_array(vs, n, "pair endpoints")
+        if us_arr.shape != vs_arr.shape:
+            raise ValueError("us and vs must have equal length")
+        if self._shrink is not None:
+            return np.array(self._shrink[us_arr, vs_arr])
+        chunk = pair_chunk if pair_chunk is not None else _DEFAULT_PAIR_CHUNK
+        if chunk <= 0:
+            raise ValueError(f"pair_chunk must be positive, got {pair_chunk}")
+        budget = state_budget if state_budget is not None else _DEFAULT_STATE_BUDGET
+        out = np.empty(len(us_arr), dtype=np.int64)
+        for start in range(0, len(us_arr), chunk):
+            stop = min(start + chunk, len(us_arr))
+            out[start:stop] = self._shrink_pairs_chunk(
+                us_arr[start:stop], vs_arr[start:stop], budget
+            )
+        return out
+
+    def _shrink_pairs_chunk(
+        self, us: np.ndarray, vs: np.ndarray, state_budget: int
+    ) -> np.ndarray:
+        graph = self.graph
+        n = graph.n
+        nn = np.int64(n) * np.int64(n)
+        count = len(us)
+        degrees = graph.degrees
+        succ = graph.succ_node_array
+
+        # n is a strict upper bound on any distance, so it doubles as
+        # "no value yet" for the deferred minimum.
+        result = np.full(count, n, dtype=np.int64)
+        finished = np.zeros(count, dtype=bool)
+        diagonal_start = us == vs
+        result[diagonal_start] = 0
+        finished[diagonal_start] = True
+
+        slots = np.arange(count, dtype=np.int64)
+        start_keys = slots * nn + us * np.int64(n) + vs
+        visited = np.sort(start_keys)
+        frontier = start_keys[~finished]
+        total_states = len(visited)
+        while frontier.size:
+            slot = frontier // nn
+            rest = frontier - slot * nn
+            x = rest // n
+            y = rest - x * n
+            limit = np.minimum(degrees[x], degrees[y])
+            state_index = np.repeat(
+                np.arange(len(frontier), dtype=np.int64), limit
+            )
+            ports = repeat_ranges(np.zeros(len(frontier), dtype=np.int64), limit)
+            next_x = succ[x[state_index], ports]
+            next_y = succ[y[state_index], ports]
+            keys = np.unique(
+                slot[state_index] * nn + next_x * np.int64(n) + next_y
+            )
+            keys = keys[~_in_sorted(visited, keys)]
+            if keys.size == 0:
+                break
+            total_states += keys.size
+            if total_states > state_budget:
+                raise ValueError(
+                    f"shrink_pairs state budget exceeded "
+                    f"({total_states} > {state_budget}); lower pair_chunk "
+                    f"or raise state_budget"
+                )
+            visited = np.sort(np.concatenate([visited, keys]))
+            key_slot = keys // nn
+            key_rest = keys - key_slot * nn
+            key_x = key_rest // n
+            key_y = key_rest - key_x * n
+            diagonal = key_x == key_y
+            if diagonal.any():
+                solved = np.unique(key_slot[diagonal])
+                result[solved] = 0
+                finished[solved] = True
+            frontier = keys[~finished[key_slot]]
+
+        pending = ~finished
+        if pending.any():
+            # Exhausted reaches: min dist over every visited state of
+            # the pending slots, distance rows fetched blockwise.
+            keep = pending[visited // nn]
+            keys = visited[keep]
+            key_slot = keys // nn
+            key_rest = keys - key_slot * nn
+            key_x = key_rest // n
+            key_y = key_rest - key_x * n
+            order = np.argsort(key_x, kind="stable")
+            key_x = key_x[order]
+            key_y = key_y[order]
+            key_slot = key_slot[order]
+            unique_x, first = np.unique(key_x, return_index=True)
+            bounds = np.concatenate([first, [len(key_x)]])
+            row_block = min(len(unique_x), _DEFAULT_BLOCK)
+            for c0 in range(0, len(unique_x), row_block):
+                c1 = min(c0 + row_block, len(unique_x))
+                rows = unique_x[c0:c1]
+                dist_rows = self._distance_rows(rows)
+                lo = bounds[c0]
+                hi = bounds[c1]
+                local = np.searchsorted(rows, key_x[lo:hi])
+                np.minimum.at(
+                    result, key_slot[lo:hi], dist_rows[local, key_y[lo:hi]]
+                )
+        return result
+
+    def shrink_block(self, rows: object) -> np.ndarray:
+        """Shrink rows ``S[rows, :]`` (fresh ``(len(rows), n)``).
+
+        Served as a slice of :attr:`shrink_all` when that is already
+        materialized; otherwise computed via :meth:`shrink_pairs`
+        without any dense ``n x n`` allocation.  Intended for a handful
+        of rows at large ``n`` — materialize :attr:`shrink_all` (or
+        :meth:`shrink_all_into` a memmap) for full sweeps.
+        """
+        n = self.graph.n
+        sources = _as_index_array(rows, n, "shrink rows")
+        if self._shrink is not None:
+            return np.array(self._shrink[sources])
+        targets = np.arange(n, dtype=np.int64)
+        us = np.repeat(sources, n)
+        vs = np.tile(targets, len(sources))
+        return self.shrink_pairs(us, vs).reshape(len(sources), n)
 
     def shrink_value(self, u: int, v: int) -> int:
         """``Shrink(u, v)`` of Definition 3.1 (0 when ``u == v``)."""
@@ -252,11 +588,16 @@ class SymmetryContext:
     def shrink_matrix(self) -> np.ndarray:
         """Shrink for symmetric pairs, ``-1`` for non-symmetric pairs,
         0 on the diagonal — the :func:`repro.symmetry.shrink_matrix`
-        contract."""
-        colors = self._colors
-        symmetric = colors[:, None] == colors[None, :]
-        out = np.where(symmetric, self.shrink_all, np.int64(-1))
+        contract.  Fills through the color-bucketed pair arrays: no
+        dense boolean mask, no ``np.where`` temporary."""
+        n = self.graph.n
+        out = np.full((n, n), -1, dtype=np.int64)
         np.fill_diagonal(out, 0)
+        us, vs = self.symmetric_pair_arrays()
+        if us.size:
+            shrink = self.shrink_all
+            out[us, vs] = shrink[us, vs]
+            out[vs, us] = shrink[vs, us]
         return out
 
     def shrink_witness(
@@ -323,23 +664,121 @@ class SymmetryContext:
             return classify_from_symmetry(False, None, delta)
         return classify_from_symmetry(True, self.shrink_value(u, v), delta)
 
+    def verdicts_for_pairs(
+        self, us: object, vs: object, delta: int
+    ) -> "list[FeasibilityVerdict]":
+        """Corollary 3.1 verdicts for a batch of pairs, scale-safely.
+
+        Same per-pair results as :meth:`verdict`, but Shrink values are
+        fetched through :meth:`shrink_pairs` for the symmetric pairs
+        only — non-symmetric pairs never touch the product graph and
+        nothing dense is materialized.
+        """
+        from repro.symmetry.feasibility import classify_from_symmetry
+
+        if delta < 0:
+            raise ValueError(f"delay must be non-negative, got {delta}")
+        n = self.graph.n
+        us_arr = _as_index_array(us, n, "pair endpoints")
+        vs_arr = _as_index_array(vs, n, "pair endpoints")
+        if us_arr.shape != vs_arr.shape:
+            raise ValueError("us and vs must have equal length")
+        if (us_arr == vs_arr).any():
+            raise ValueError("the model requires distinct initial nodes")
+        symmetric = self._colors[us_arr] == self._colors[vs_arr]
+        shrinks = np.zeros(len(us_arr), dtype=np.int64)
+        if symmetric.any():
+            shrinks[symmetric] = self.shrink_pairs(
+                us_arr[symmetric], vs_arr[symmetric]
+            )
+        return [
+            classify_from_symmetry(True, int(value), delta)
+            if is_symmetric
+            else classify_from_symmetry(False, None, delta)
+            for is_symmetric, value in zip(symmetric.tolist(), shrinks.tolist())
+        ]
+
+    # ------------------------------------------------------------------
+    # Cache accounting
+    # ------------------------------------------------------------------
+    def retained_bytes(self) -> int:
+        """Approximate bytes this context pins while cached.
+
+        Sums the kernel's retained numpy buffers (colors plus any
+        materialized dense matrices) and a small fixed overhead for the
+        Python object graph.  Lazy materialization grows this after
+        construction, which is why :func:`symmetry_context` re-enforces
+        the cache budget on every call.
+        """
+        total = _ENTRY_OVERHEAD_BYTES + self._colors.nbytes
+        if self._distances is not None:
+            total += self._distances.nbytes
+        if self._shrink is not None:
+            total += self._shrink.nbytes
+        return total
+
 
 # Contexts are cached per graph *value* (PortLabeledGraph hashes by its
 # canonical edge list), so equal graphs constructed independently share
-# one kernel.  The LRU bound keeps long-lived processes from pinning
-# arrays for every graph they ever touched.
+# one kernel.  The LRU is bounded by approximate retained *bytes*, not
+# entry count: dense kernels are quadratic, so one million-node context
+# must evict many small ones (and a flat entry cap would let 64 huge
+# kernels pin ~80 GB).  Lazy arrays grow after insertion, so the bound
+# is re-enforced on every lookup.
+_ENTRY_OVERHEAD_BYTES = 4096
 _CONTEXT_CACHE: OrderedDict[PortLabeledGraph, SymmetryContext] = OrderedDict()
-_CONTEXT_CACHE_MAX = 64
+_CONTEXT_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+
+def set_context_cache_limit(max_bytes: int) -> int:
+    """Set the context cache byte budget; returns the previous budget.
+
+    Eviction happens immediately and on every subsequent
+    :func:`symmetry_context` call.  The most recently served context is
+    always retained, even when it alone exceeds the budget.
+    """
+    global _CONTEXT_CACHE_MAX_BYTES
+    if max_bytes <= 0:
+        raise ValueError(f"cache limit must be positive, got {max_bytes}")
+    previous = _CONTEXT_CACHE_MAX_BYTES
+    _CONTEXT_CACHE_MAX_BYTES = int(max_bytes)
+    _evict_to_limit(keep=None)
+    return previous
+
+
+def context_cache_bytes() -> int:
+    """Approximate bytes currently retained by the context cache."""
+    return sum(context.retained_bytes() for context in _CONTEXT_CACHE.values())
+
+
+def clear_context_cache() -> None:
+    """Drop every cached context (test isolation helper)."""
+    _CONTEXT_CACHE.clear()
+
+
+def _evict_to_limit(keep: SymmetryContext | None) -> None:
+    total = context_cache_bytes()
+    while total > _CONTEXT_CACHE_MAX_BYTES and _CONTEXT_CACHE:
+        victim_graph = None
+        victim = None
+        for graph, context in _CONTEXT_CACHE.items():
+            if context is not keep:
+                victim_graph = graph
+                victim = context
+                break
+        if victim_graph is None or victim is None:
+            break  # only the just-served context remains
+        del _CONTEXT_CACHE[victim_graph]
+        total -= victim.retained_bytes()
 
 
 def symmetry_context(graph: PortLabeledGraph) -> SymmetryContext:
     """The (memoized) :class:`SymmetryContext` of ``graph``."""
     context = _CONTEXT_CACHE.get(graph)
-    if context is not None:
+    if context is None:
+        context = SymmetryContext(graph)
+        _CONTEXT_CACHE[graph] = context
+    else:
         _CONTEXT_CACHE.move_to_end(graph)
-        return context
-    context = SymmetryContext(graph)
-    _CONTEXT_CACHE[graph] = context
-    while len(_CONTEXT_CACHE) > _CONTEXT_CACHE_MAX:
-        _CONTEXT_CACHE.popitem(last=False)
+    _evict_to_limit(keep=context)
     return context

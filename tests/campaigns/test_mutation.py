@@ -120,6 +120,25 @@ def test_corrupted_symmetry_witness_is_caught(tmp_path, monkeypatch):
     )
 
 
+def test_off_by_one_blocked_bfs_is_caught(tmp_path, monkeypatch):
+    """An off-by-one in the frontier-compressed multi-source BFS — the
+    engine every blocked distance/Shrink path rides on — must be caught
+    by the sparse-symmetry differential, shrunk, and replayed."""
+    original = SymmetryContext._bfs_block
+
+    def skewed(self, sources):
+        dist = original(self, sources)
+        dist[dist > 0] += 1  # every non-source level lands one step late
+        return dist
+
+    def mutate(patch):
+        patch.setattr(SymmetryContext, "_bfs_block", skewed)
+
+    _assert_caught_shrunk_and_replayable(
+        "differential/sparse-symmetry", tmp_path, monkeypatch, mutate
+    )
+
+
 def test_crashing_engine_is_caught_not_propagated(tmp_path, monkeypatch):
     """An engine that *raises* instead of answering wrong is still a
     failing verdict: the campaign completes, the cell shrinks, and the
