@@ -8,7 +8,7 @@ single ``json.dump(s)`` without ``sort_keys=True`` makes the encoding
 depend on dict insertion order, which is exactly the class of
 "works today, corrupts the cache after a refactor" bug ``prune()``
 had to be taught to clean up.  Prefer routing through
-:func:`repro.experiments.store.canonical_json`; where a raw dump is
+:func:`repro.util.encoding.canonical_json`; where a raw dump is
 needed (pretty-printed reports included), it must pass a literal
 ``sort_keys=True``.
 """
@@ -31,7 +31,7 @@ RULE_ID = "REPRO104"
     "every json.dump/json.dumps call must pass a literal sort_keys=True",
     "PRs 4-5: cache keys are SHA-256 of the encoded JSON and CI asserts "
     "cold==warm byte-identity; insertion-ordered dumps break both "
-    "(see repro.experiments.store.canonical_json)",
+    "(see repro.util.encoding.canonical_json)",
 )
 def check(module: Module) -> Iterator[Finding]:
     aliases = astutil.import_aliases(module.tree)

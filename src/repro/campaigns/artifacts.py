@@ -18,7 +18,7 @@ import tempfile
 from pathlib import Path
 
 from repro.campaigns.checks import CheckResult, run_check
-from repro.experiments.store import canonical_json
+from repro.util.encoding import canonical_json
 
 __all__ = [
     "DEFAULT_ARTIFACT_DIR",

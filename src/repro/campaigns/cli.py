@@ -4,15 +4,20 @@ Subcommands::
 
     repro campaign run [NAME ...] [--tier T] [--jobs N] [--seed S]
                        [--cache-dir PATH | --no-cache]
-                       [--artifacts DIR]
+                       [--artifacts DIR] [--resume [RUN_ID]]
+                       [--max-retries N] [--shard-timeout S]
     repro campaign list
+    repro campaign status RUN_ID [--cache-dir PATH]
     repro campaign replay ARTIFACT.json
 
 ``run`` executes the selected campaigns (default: all) through the
 sharded orchestrator — ``--jobs`` and the content-addressed cache
 behave exactly as for ``python -m repro`` — and writes one replay
-artifact per failing cell.  ``replay`` re-executes a failure from its
-artifact alone; exit status 1 means the failure still reproduces,
+artifact per failing cell.  Each cached run is journaled;
+``--resume`` re-attaches to a killed run and recomputes nothing it
+completed, and ``status`` shows a run's completed/leased/quarantined
+ledger (live or post-mortem).  ``replay`` re-executes a failure from
+its artifact alone; exit status 1 means the failure still reproduces,
 0 means the underlying bug no longer manifests.
 """
 
@@ -30,7 +35,9 @@ from repro.campaigns.artifacts import (
 )
 from repro.campaigns.checks import CHECKS
 from repro.campaigns.registry import CAMPAIGNS, get_campaign
-from repro.experiments.orchestrator import run_suite
+from repro.experiments.journal import list_runs
+from repro.experiments.orchestrator import journal_status, run_suite
+from repro.experiments.queue import DEFAULT_MAX_RETRIES
 from repro.experiments.scenarios import TIERS
 from repro.experiments.store import DEFAULT_CACHE_DIR, ResultStore
 
@@ -64,10 +71,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if args.resume is not None and args.no_cache:
+        print("--resume needs the journal; drop --no-cache", file=sys.stderr)
+        return 2
     store = None if args.no_cache else ResultStore(args.cache_dir)
     started = time.perf_counter()
     runs = run_suite(
-        specs, tier=args.tier, seed=args.seed, jobs=args.jobs, store=store
+        specs,
+        tier=args.tier,
+        seed=args.seed,
+        jobs=args.jobs,
+        store=store,
+        max_retries=args.max_retries,
+        shard_timeout=args.shard_timeout,
+        run_id=args.resume or None,
+        resume=args.resume is not None,
     )
     elapsed = time.perf_counter() - started
     failures = 0
@@ -87,19 +105,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     total = sum(len(run.shards) for run in runs)
     computed = sum(run.shards_computed for run in runs)
+    quarantined = sum(run.shards_quarantined for run in runs)
     rate = total / elapsed if elapsed > 0 else float("inf")
     print(
         f"cells: total={total} recomputed={computed} "
-        f"cached={total - computed} failures={failures} "
+        f"cached={total - computed - quarantined} failures={failures} "
         f"({elapsed:.1f}s, {rate:.1f} cells/s, tier={args.tier}, "
         f"jobs={args.jobs})"
     )
+    if runs and runs[0].run_id:
+        print(
+            f"run id: {runs[0].run_id} "
+            f"(status/resume with `repro campaign status {runs[0].run_id}` "
+            "/ `repro campaign run --resume ...`)"
+        )
+    if quarantined:
+        print(
+            f"WARNING: {quarantined} quarantined cell(s); replay with "
+            "`python -m repro --replay-shard "
+            f"{args.cache_dir}/runs/<run-id>/quarantine/shard-*.json`"
+        )
     if failures:
         print(
             f"{failures} failing cell(s); replay with "
             f"`repro campaign replay {args.artifacts}/replay-*.json`"
         )
-    return 1 if failures else 0
+    return 1 if failures or quarantined else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    try:
+        state, rows = journal_status(store, args.run_id)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        runs = list_runs(store.root)
+        if runs:
+            print(f"known runs: {', '.join(runs)}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"corrupt journal: {exc}", file=sys.stderr)
+        return 2
+    totals = state.counts()
+    print(
+        f"run {state.run_id} tier={state.tier} seed={state.seed} "
+        f"resumes={state.resumes}"
+        + (" [truncated tail dropped]" if state.truncated_tail else "")
+    )
+    header = (
+        f"{'experiment':<18} {'completed':>9} {'cached':>7} {'leased':>7} "
+        f"{'quarantined':>11} {'pending':>8}"
+    )
+    print(header)
+    for exp_id, counts in rows:
+        print(
+            f"{exp_id:<18} "
+            f"{counts['completed']:>4}/{counts['planned']:<4} "
+            f"{counts['cached']:>7} {counts['leased']:>7} "
+            f"{counts['quarantined']:>11} {counts['pending']:>8}"
+        )
+    print(
+        f"TOTAL: {totals['completed']}/{totals['planned']} completed, "
+        f"{totals['leased']} leased, {totals['quarantined']} quarantined, "
+        f"{totals['pending']} pending"
+    )
+    return 0 if totals["quarantined"] == 0 else 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -161,12 +231,37 @@ def main(argv: list[str] | None = None) -> int:
         "--artifacts", metavar="DIR", default=DEFAULT_ARTIFACT_DIR,
         help=f"replay-artifact directory (default {DEFAULT_ARTIFACT_DIR})",
     )
+    run_parser.add_argument(
+        "--resume", nargs="?", const="", default=None, metavar="RUN_ID",
+        help="re-attach to a journaled run (default: the run id this "
+        "same invocation derives) and recompute nothing it completed",
+    )
+    run_parser.add_argument(
+        "--max-retries", type=int, default=DEFAULT_MAX_RETRIES, metavar="N",
+        help="re-lease a failing cell N times before quarantining it "
+        f"(default {DEFAULT_MAX_RETRIES})",
+    )
+    run_parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="expire a cell lease after SECONDS and re-lease it "
+        "(default: no hard deadline; heartbeat liveness still applies)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     list_parser = sub.add_parser(
         "list", help="list campaigns, grid sizes, and the check registry"
     )
     list_parser.set_defaults(func=_cmd_list)
+
+    status_parser = sub.add_parser(
+        "status", help="show a journaled run's shard ledger"
+    )
+    status_parser.add_argument("run_id", help="run id (printed by `run`)")
+    status_parser.add_argument(
+        "--cache-dir", metavar="PATH", default=DEFAULT_CACHE_DIR,
+        help=f"result-store location (default {DEFAULT_CACHE_DIR})",
+    )
+    status_parser.set_defaults(func=_cmd_status)
 
     replay_parser = sub.add_parser(
         "replay", help="re-execute one failure from its replay artifact"

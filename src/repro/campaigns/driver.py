@@ -28,7 +28,7 @@ from __future__ import annotations
 from repro.campaigns.checks import CHECKS, CheckResult, default_knobs, run_check
 from repro.experiments.records import ExperimentRecord
 from repro.experiments.scenarios import GRAPH_FAMILIES, RunConfig
-from repro.experiments.store import canonical_json
+from repro.util.encoding import canonical_json
 from repro.util.lcg import derive_seed
 
 __all__ = [

@@ -1,33 +1,55 @@
-"""Parallel sharded experiment runner.
+"""Experiment frontend over the checkpointed work-queue service.
 
-Splits each selected experiment into the independent shards its
-:class:`~repro.experiments.scenarios.ScenarioSpec` declares, executes
-missing shards — serially or across a ``ProcessPoolExecutor`` — and
-merges the results into :class:`ExperimentRecord`s.
+``run_suite``/``run_experiment`` keep their PR-4 public API — plan the
+selected experiments' shards, execute the missing ones, merge in plan
+order — but execution now rides the three-layer spine
+(docs/orchestration.md):
 
-Determinism guarantees (pinned by tests/experiments/test_orchestrator.py):
+* :mod:`repro.experiments.queue` — shards become leased tasks with
+  per-shard timeout, heartbeat liveness, bounded retry, and poison-
+  shard **quarantine** (a deterministically-failing shard is recorded
+  as a JSON replay artifact and the run continues);
+* :mod:`repro.experiments.journal` — every run with a store gets an
+  append-only canonical-JSON **run journal** under
+  ``<cache-dir>/runs/<run-id>/``; ``resume=True`` re-attaches to it,
+  recomputing nothing that completed before a kill;
+* :mod:`repro.experiments.store` — completed shard results live in
+  the content-addressed :class:`ResultStore` behind a pluggable
+  backend.
+
+Determinism guarantees (pinned by tests/experiments/):
 
 * shard results are pure functions of ``(config, shard)``; all
   randomness derives from ``config.seed``;
-* shards merge **in shard order**, never completion order, so a
-  ``--jobs N`` run is bit-identical to ``--jobs 1``;
+* shards merge **in plan order**, never completion order, so
+  ``--jobs N``, kill/resume, and retried-lease runs are all
+  bit-identical to a serial run;
 * every shard result is normalized through a canonical-JSON round
   trip before merging, so warm-cache, cold, and cache-disabled runs
   also agree byte-for-byte.
-
-With a :class:`~repro.experiments.store.ResultStore` attached, shards
-hit the content-addressed cache first and only invalidated (spec,
-seed, or driver-version changed) shards recompute; interrupted runs
-resume from whatever shards already landed on disk.
 """
 
 from __future__ import annotations
 
-import importlib
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.experiments.journal import (
+    JOURNAL_NAME,
+    RunJournal,
+    RunState,
+    derive_run_id,
+    replay_journal,
+    run_dir,
+)
+from repro.experiments.queue import (
+    DEFAULT_MAX_RETRIES,
+    QueuePolicy,
+    ShardTask,
+    WorkQueue,
+    run_queue,
+)
 from repro.experiments.records import ExperimentRecord
 from repro.experiments.scenarios import (
     SCENARIO_MODULES,
@@ -45,12 +67,14 @@ __all__ = [
     "plan_shards",
     "run_experiment",
     "run_suite",
+    "shard_status",
+    "journal_status",
 ]
 
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """One executed (or cache-served) shard.
+    """One executed, cache-served, or quarantined shard.
 
     ``seconds`` is the shard's own execution time as measured in the
     worker that ran it (0.0 for cache hits), so it is meaningful for
@@ -58,6 +82,8 @@ class ShardOutcome:
     shard's normalized payload — what ``merge`` consumed — so callers
     that need per-shard detail beyond the merged record (the campaign
     CLI extracting replay artifacts, say) get it without a cache read.
+    Quarantined shards carry ``result=None`` plus the error and the
+    replay-artifact path.
     """
 
     index: int
@@ -66,6 +92,10 @@ class ShardOutcome:
     cached: bool
     seconds: float
     result: dict | None = None
+    quarantined: bool = False
+    attempts: int = 0
+    error: str | None = None
+    artifact: str | None = None
 
 
 @dataclass(frozen=True)
@@ -75,21 +105,28 @@ class ExperimentRun:
     ``seconds`` is the compute time attributed to *this* experiment —
     the sum of its shards' execution times plus its merge — not wall
     clock, so it is comparable across serial, parallel, and
-    warm-cache runs (cached shards contribute 0).
+    warm-cache runs (cached shards contribute 0).  ``run_id`` names
+    the journaled run this experiment executed under (None without a
+    store).
     """
 
     record: ExperimentRecord
     config: RunConfig
     shards: list[ShardOutcome]
     seconds: float
+    run_id: str | None = None
 
     @property
     def shards_cached(self) -> int:
         return sum(outcome.cached for outcome in self.shards)
 
     @property
+    def shards_quarantined(self) -> int:
+        return sum(outcome.quarantined for outcome in self.shards)
+
+    @property
     def shards_computed(self) -> int:
-        return len(self.shards) - self.shards_cached
+        return len(self.shards) - self.shards_cached - self.shards_quarantined
 
 
 def validate_experiment_ids(ids: list[str] | None) -> list[str]:
@@ -136,18 +173,6 @@ def plan_shards(spec: ScenarioSpec, config: RunConfig) -> list[dict]:
     return spec.driver().make_shards(config)
 
 
-def _execute_shard(module: str, config_dict: dict, shard: dict) -> tuple[dict, float]:
-    """Worker entry point (top-level so it pickles across processes).
-
-    Returns ``(result, seconds)`` with the execution time measured in
-    the worker itself, so parallel runs attribute time correctly.
-    """
-    driver = importlib.import_module(module)
-    t0 = time.perf_counter()
-    result = driver.run_shard(RunConfig.from_json_dict(config_dict), shard)
-    return result, time.perf_counter() - t0
-
-
 @dataclass
 class _Plan:
     spec: ScenarioSpec
@@ -171,28 +196,77 @@ def _make_plan(
     return _Plan(spec, config, shards, keys, data)
 
 
-def _finish_plan(plan: _Plan, durations: list[float]) -> ExperimentRun:
-    t0 = time.perf_counter()
-    record = plan.spec.driver().merge(plan.config, plan.data)
-    merge_seconds = time.perf_counter() - t0
-    outcomes = [
-        ShardOutcome(
-            index=i,
-            shard=shard,
-            key=key,
-            cached=duration < 0,
-            seconds=max(duration, 0.0),
-            result=result,
+def _quarantined_record(
+    plan: _Plan, lost: list[ShardOutcome]
+) -> ExperimentRecord:
+    """Placeholder record for an experiment with poisoned shards.
+
+    The run as a whole keeps going (and other experiments merge
+    normally); this record carries the triage pointers instead of a
+    merged table, and ``passed=False`` makes the exit status honest.
+    """
+    record = ExperimentRecord(
+        exp_id=plan.config.exp_id,
+        title=plan.spec.title,
+        paper_claim="(not evaluated: shards quarantined)",
+        columns=["shard", "attempts", "error"],
+        measured_summary=(
+            f"{len(lost)}/{len(plan.shards)} shards quarantined after "
+            "exhausting retries; merged record unavailable"
+        ),
+        passed=False,
+        notes=(
+            "replay each artifact with `python -m repro --replay-shard "
+            "<artifact.json>`; fix the driver (or environment) and "
+            "re-run without --resume to retry quarantined shards"
+        ),
+    )
+    for outcome in lost:
+        record.add_row(
+            shard=outcome.key[:16],
+            attempts=outcome.attempts,
+            error=(outcome.error or "")[:120],
         )
-        for i, (shard, key, duration, result) in enumerate(
-            zip(plan.shards, plan.keys, durations, plan.data)
+    return record
+
+
+def _finish_plan(
+    plan: _Plan,
+    durations: list[float],
+    quarantine: dict[int, ShardOutcome],
+    run_id: str | None,
+) -> ExperimentRun:
+    outcomes = []
+    for i, (shard, key, duration, result) in enumerate(
+        zip(plan.shards, plan.keys, durations, plan.data)
+    ):
+        if i in quarantine:
+            outcomes.append(quarantine[i])
+            continue
+        outcomes.append(
+            ShardOutcome(
+                index=i,
+                shard=shard,
+                key=key,
+                cached=duration < 0,
+                seconds=max(duration, 0.0),
+                result=result,
+            )
         )
-    ]
+    lost = [o for o in outcomes if o.quarantined]
+    if lost:
+        record = _quarantined_record(plan, lost)
+        merge_seconds = 0.0
+    else:
+        t0 = time.perf_counter()
+        record = plan.spec.driver().merge(plan.config, plan.data)
+        merge_seconds = time.perf_counter() - t0
     return ExperimentRun(
         record=record,
         config=plan.config,
         shards=outcomes,
         seconds=sum(o.seconds for o in outcomes) + merge_seconds,
+        run_id=run_id,
     )
 
 
@@ -203,78 +277,212 @@ def run_suite(
     seed: int | None = None,
     jobs: int = 1,
     store: ResultStore | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    shard_timeout: float | None = None,
+    policy: QueuePolicy | None = None,
+    run_id: str | None = None,
+    resume: bool = False,
 ) -> list[ExperimentRun]:
-    """Run a selection of experiments, sharded and optionally parallel.
+    """Run a selection of experiments through the work-queue service.
 
     The selection mixes registry ids with literal
     :class:`ScenarioSpec` objects (see :func:`resolve_specs`).  All
-    experiments' missing shards share one process pool, so a wide
+    experiments' missing shards share one leased work queue, so a wide
     selection saturates ``--jobs`` workers even when individual
     experiments have few shards.  Results come back in selection order
     with shard order preserved inside each experiment.
+
+    With a ``store``, the run is **journaled** under
+    ``<cache-dir>/runs/<run-id>/`` (``run_id`` defaults to a content
+    hash of the planned work, so the same invocation always maps to
+    the same journal).  ``resume=True`` re-attaches to that journal:
+    completed shards are served from the store (zero recomputation),
+    previously quarantined shards stay quarantined, and only the rest
+    execute.  ``max_retries``/``shard_timeout`` (or a full
+    :class:`QueuePolicy`) tune the lease discipline.
     """
     plans = [
         _make_plan(spec, tier=tier, seed=seed, store=store)
         for spec in resolve_specs(ids)
     ]
+    queue_policy = policy or QueuePolicy(
+        max_retries=max_retries, shard_timeout=shard_timeout
+    )
 
-    # (plan index, shard index) of every cache miss, in deterministic order.
-    missing = [
-        (p, s)
-        for p, plan in enumerate(plans)
-        for s, payload in enumerate(plan.data)
-        if payload is None
-    ]
+    rid: str | None = None
+    journal: RunJournal | None = None
+    rdir: Path | None = None
+    prior: RunState | None = None
+    if store is not None:
+        rid = run_id or derive_run_id(
+            [(plan.config.exp_id, plan.keys) for plan in plans], tier, seed
+        )
+        rdir = run_dir(store.root, rid)
+        journal_path = rdir / JOURNAL_NAME
+        if resume and journal_path.is_file():
+            prior = replay_journal(journal_path)
+        journal = RunJournal(journal_path, fresh=prior is None)
+
+    try:
+        return _run_planned(
+            plans,
+            jobs=jobs,
+            store=store,
+            policy=queue_policy,
+            rid=rid,
+            rdir=rdir,
+            journal=journal,
+            prior=prior,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _run_planned(
+    plans: list[_Plan],
+    *,
+    jobs: int,
+    store: ResultStore | None,
+    policy: QueuePolicy,
+    rid: str | None,
+    rdir: Path | None,
+    journal: RunJournal | None,
+    prior: RunState | None,
+) -> list[ExperimentRun]:
+    if journal is not None:
+        if prior is None:
+            journal.append(
+                {
+                    "event": "plan",
+                    "run_id": rid,
+                    "version": 1,
+                    "tier": plans[0].config.tier if plans else "",
+                    "seed": plans[0].config.seed if plans else None,
+                    "experiments": [
+                        {"exp_id": plan.config.exp_id, "keys": plan.keys}
+                        for plan in plans
+                    ],
+                }
+            )
+        else:
+            journal.append({"event": "resume", "run_id": rid})
+
+    # Journal cache hits the journal has not seen complete yet, so a
+    # resumed/warm run's ledger still accounts for every shard.
+    tasks: list[ShardTask] = []
+    pre_quarantined: list[tuple[ShardTask, str, str | None]] = []
+    for p, plan in enumerate(plans):
+        for s, payload in enumerate(plan.data):
+            key = plan.keys[s]
+            if payload is not None:
+                if journal is not None and (
+                    prior is None or prior.status.get(key) != "completed"
+                ):
+                    journal.append(
+                        {"event": "complete", "key": key, "cached": True}
+                    )
+                continue
+            task = ShardTask(
+                plan=p,
+                index=s,
+                module=plan.spec.module,
+                config=plan.config.to_json_dict(),
+                shard=plan.shards[s],
+                key=key,
+            )
+            if prior is not None and prior.status.get(key) == "quarantined":
+                pre_quarantined.append(
+                    (
+                        task,
+                        prior.errors.get(key, "quarantined in prior run"),
+                        prior.artifacts.get(key),
+                    )
+                )
+            else:
+                tasks.append(task)
+
+    queue = WorkQueue(
+        tasks,
+        policy=policy,
+        journal=journal,
+        run_dir=rdir,
+    )
     durations: list[list[float]] = [[-1.0] * len(plan.shards) for plan in plans]
 
-    def record_result(p: int, s: int, result: dict, seconds: float) -> None:
-        plan = plans[p]
+    def on_result(task: ShardTask, result: dict, seconds: float) -> None:
+        plan = plans[task.plan]
         # Normalize through canonical JSON so cold == warm byte-for-byte.
         result = json_roundtrip(result)
-        plan.data[s] = result
-        durations[p][s] = seconds
+        plan.data[task.index] = result
+        durations[task.plan][task.index] = seconds
         if store is not None:
+            # Persist each shard as it lands (not in plan order): an
+            # interrupted run keeps everything that finished before
+            # the interrupt, so the resume recomputes only the rest.
+            # Merging stays deterministic — results land by index.
             store.put(
-                plan.keys[s],
+                task.key,
                 result,
                 meta={
                     "exp_id": plan.config.exp_id,
                     "tier": plan.config.tier,
                     "seed": plan.config.seed,
-                    "shard": plan.shards[s],
+                    "shard": plan.shards[task.index],
                     "code_version": plan.spec.code_version,
                     "seconds": round(seconds, 4),
                 },
             )
 
-    if jobs > 1 and len(missing) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(
-                    _execute_shard,
-                    plans[p].spec.module,
-                    plans[p].config.to_json_dict(),
-                    plans[p].shards[s],
-                ): (p, s)
-                for p, s in missing
-            }
-            # Persist each shard as it lands (not in submission order):
-            # an interrupted run keeps everything that finished before
-            # the interrupt, so the resume recomputes only the rest.
-            # Merging stays deterministic — results land by index.
-            for future in as_completed(futures):
-                p, s = futures[future]
-                result, seconds = future.result()
-                record_result(p, s, result, seconds)
-    else:
-        for p, s in missing:
-            plan = plans[p]
-            result, seconds = _execute_shard(
-                plan.spec.module, plan.config.to_json_dict(), plan.shards[s]
-            )
-            record_result(p, s, result, seconds)
+    run_queue(queue, jobs=jobs, on_result=on_result)
 
-    return [_finish_plan(plan, durations[p]) for p, plan in enumerate(plans)]
+    quarantine: dict[int, dict[int, ShardOutcome]] = {
+        p: {} for p in range(len(plans))
+    }
+    for task, error, artifact in queue.quarantined():
+        _status, attempts = queue.state_of(task)
+        quarantine[task.plan][task.index] = ShardOutcome(
+            index=task.index,
+            shard=task.shard,
+            key=task.key,
+            cached=False,
+            seconds=0.0,
+            result=None,
+            quarantined=True,
+            attempts=attempts,
+            error=error,
+            artifact=str(artifact) if artifact is not None else None,
+        )
+    for task, error, artifact in pre_quarantined:
+        quarantine[task.plan][task.index] = ShardOutcome(
+            index=task.index,
+            shard=task.shard,
+            key=task.key,
+            cached=False,
+            seconds=0.0,
+            result=None,
+            quarantined=True,
+            attempts=0,
+            error=error,
+            artifact=artifact,
+        )
+        if journal is not None:
+            # Re-record so a journal replay of *this* invocation still
+            # shows the shard quarantined.
+            journal.append(
+                {
+                    "event": "quarantine",
+                    "key": task.key,
+                    "attempts": 0,
+                    "error": error,
+                    "artifact": artifact,
+                }
+            )
+
+    return [
+        _finish_plan(plan, durations[p], quarantine[p], rid)
+        for p, plan in enumerate(plans)
+    ]
 
 
 def run_experiment(
@@ -284,10 +492,22 @@ def run_experiment(
     seed: int | None = None,
     jobs: int = 1,
     store: ResultStore | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    shard_timeout: float | None = None,
+    run_id: str | None = None,
+    resume: bool = False,
 ) -> ExperimentRun:
-    """Run one experiment through the sharded pipeline."""
+    """Run one experiment through the work-queue pipeline."""
     (run,) = run_suite(
-        [spec_or_id], tier=tier, seed=seed, jobs=jobs, store=store
+        [spec_or_id],
+        tier=tier,
+        seed=seed,
+        jobs=jobs,
+        store=store,
+        max_retries=max_retries,
+        shard_timeout=shard_timeout,
+        run_id=run_id,
+        resume=resume,
     )
     return run
 
@@ -306,3 +526,52 @@ def shard_status(
         cached = sum(payload is not None for payload in plan.data)
         rows.append((spec.exp_id, cached, len(plan.shards)))
     return rows
+
+
+def journal_status(
+    store: ResultStore, run_id: str
+) -> tuple[RunState, list[tuple[str, dict[str, int]]]]:
+    """A journaled run's progress, live or post-mortem.
+
+    Reuses the :func:`shard_status` idea — planned keys checked
+    against the store — but sourced from the run journal, so it works
+    for killed runs, literal (off-registry) campaign specs, and runs
+    still executing in another process.  Returns the folded
+    :class:`RunState` plus per-experiment count rows
+    ``{planned, completed, cached, leased, quarantined, pending}``
+    (``cached`` is live store occupancy; ``completed`` is what the
+    journal recorded).
+    """
+    journal_path = run_dir(store.root, run_id) / JOURNAL_NAME
+    if not journal_path.is_file():
+        raise FileNotFoundError(
+            f"no journal for run {run_id!r} under {store.root}/runs"
+        )
+    state = replay_journal(journal_path)
+    rows: list[tuple[str, dict[str, int]]] = []
+    for exp_id, keys in state.planned.items():
+        counts = {
+            "planned": len(keys),
+            "completed": 0,
+            "cached": 0,
+            "leased": 0,
+            "quarantined": 0,
+        }
+        for key in keys:
+            status = state.status.get(key)
+            if status == "completed":
+                counts["completed"] += 1
+            elif status == "leased":
+                counts["leased"] += 1
+            elif status == "quarantined":
+                counts["quarantined"] += 1
+            if store.get(key) is not None:
+                counts["cached"] += 1
+        counts["pending"] = (
+            counts["planned"]
+            - counts["completed"]
+            - counts["leased"]
+            - counts["quarantined"]
+        )
+        rows.append((exp_id, counts))
+    return state, rows

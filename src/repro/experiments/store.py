@@ -1,7 +1,7 @@
 """Content-addressed result store for experiment shards.
 
-Every shard of every experiment is cached on disk under a key that is
-the SHA-256 of the canonical JSON of everything that determines its
+Every shard of every experiment is cached under a key that is the
+SHA-256 of the canonical JSON of everything that determines its
 result::
 
     {exp_id, tier, seed, params, shard, salt}
@@ -14,9 +14,25 @@ or the driver version changes the key and transparently invalidates
 the entry.  Interrupted runs resume for free: completed shards are
 already on disk, only missing ones recompute.
 
-Entries are plain JSON files (``<root>/<key[:2]>/<key>.json``) written
-atomically, so a store survives crashes and can be inspected, diffed,
-or garbage-collected with ordinary shell tools.
+How bytes reach disk is delegated to a pluggable **backend**
+(:class:`StoreBackend`):
+
+* :class:`LocalDirBackend` (default) — plain JSON files
+  (``<root>/<key[:2]>/<key>.json``) written atomically, so a store
+  survives crashes and can be inspected, diffed, or garbage-collected
+  with ordinary shell tools;
+* :class:`SharedDirBackend` — the same layout hardened for many
+  concurrent writer *processes* (the work-queue's pooled workers, or
+  several campaign runs sharing one cache): entries are write-once
+  (first writer wins, so concurrent writers never replace a file a
+  reader has open) and fsynced for crash durability.  Reads stay
+  lock-free in both backends.
+
+Register additional backends (a remote/object-store backend is the
+roadmap's item-3 target) with :func:`register_store_backend`.
+
+``canonical_json`` / ``json_roundtrip`` historically lived here and
+are re-exported; their home is :mod:`repro.util.encoding`.
 """
 
 from __future__ import annotations
@@ -25,15 +41,25 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.experiments.scenarios import RunConfig
+from repro.util.encoding import canonical_json, json_roundtrip
 
 __all__ = [
     "STORE_VERSION",
     "DEFAULT_CACHE_DIR",
     "canonical_json",
+    "json_roundtrip",
     "shard_key",
+    "StoreBackend",
+    "LocalDirBackend",
+    "SharedDirBackend",
+    "STORE_BACKENDS",
+    "register_store_backend",
+    "GcReport",
     "ResultStore",
 ]
 
@@ -43,21 +69,6 @@ STORE_VERSION = 1
 
 #: Default on-disk location (relative to the invoking directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
-
-
-def canonical_json(obj) -> str:
-    """Deterministic JSON encoding (sorted keys, no whitespace)."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
-
-
-def json_roundtrip(obj):
-    """Normalize a payload to what a store read would return.
-
-    The orchestrator passes every shard result through this even when
-    caching is off, so merged records are bit-identical between cold,
-    warm, and cache-disabled runs.
-    """
-    return json.loads(canonical_json(obj))
 
 
 def shard_key(config: RunConfig, shard: dict, code_version: int) -> str:
@@ -73,26 +84,195 @@ def shard_key(config: RunConfig, shard: dict, code_version: int) -> str:
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
-class ResultStore:
-    """Content-addressed JSON-on-disk cache of shard results."""
+@runtime_checkable
+class StoreBackend(Protocol):
+    """How entry text reaches and leaves durable storage.
 
-    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+    Backends deal in raw entry *text* addressed by key; parsing,
+    validation against the claimed key, and canonical-JSON semantics
+    stay in :class:`ResultStore`, so every backend inherits them
+    bit-identically.
+    """
+
+    root: Path
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (for reports/diagnostics)."""
+        ...
+
+    def read(self, key: str) -> str | None:
+        """Entry text for ``key``, or None if absent/unreadable."""
+        ...
+
+    def write(self, key: str, text: str) -> None:
+        """Durably persist entry text under ``key``."""
+        ...
+
+    def delete(self, path: Path) -> bool:
+        """Remove one file; False if it was already gone."""
+        ...
+
+    def entry_files(self) -> list[Path]:
+        """Every candidate entry file (``??/*.json``), sorted."""
+        ...
+
+    def stray_files(self) -> list[Path]:
+        """Leftover temp files from interrupted writes, sorted."""
+        ...
+
+
+class LocalDirBackend:
+    """Atomic-file JSON backend — the default local cache layout."""
+
+    def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def read(self, key: str) -> str | None:
+        try:
+            return self.path_for(key).read_text()
+        except OSError:
+            return None
+
+    def write(self, key: str, text: str) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+                self._flush(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _flush(self, fh) -> None:  # SharedDirBackend adds fsync
+        pass
+
+    def delete(self, path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:  # pragma: no cover - racing deleter
+            return False
+
+    def entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def stray_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/.*.tmp"))
+
+
+class SharedDirBackend(LocalDirBackend):
+    """Multi-process variant: write-once entries, fsynced, lock-free reads.
+
+    Designed for many pooled worker processes (or several campaign
+    runs) sharing one cache directory:
+
+    * **write-once** — if a parseable entry already claims the key,
+      the write is skipped instead of replacing the file, so two
+      workers that raced on the same shard never swap a file out from
+      under a concurrent reader (results are pure functions of the
+      key, so both texts are byte-identical anyway; corrupt leftovers
+      *are* replaced);
+    * **fsync on write** — an entry that a worker reported as cached
+      survives the host crashing right after, which is what the run
+      journal's zero-recompute resume accounting relies on.
+
+    Reads are the same lock-free single ``read_text`` as the local
+    backend; atomic ``os.replace`` guarantees a reader never observes
+    a half-written entry in either backend.
+    """
+
+    def write(self, key: str, text: str) -> None:
+        existing = self.read(key)
+        if existing is not None:
+            try:
+                entry = json.loads(existing)
+                if isinstance(entry, dict) and entry.get("key") == key:
+                    return  # first writer won; keep readers undisturbed
+            except json.JSONDecodeError:
+                pass  # corrupt: fall through and repair in place
+        super().write(key, text)
+
+    def _flush(self, fh) -> None:
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+#: Backend name -> factory taking the store root.  ``--store-backend``
+#: style knobs and :class:`ResultStore` both resolve through this, so a
+#: registered remote backend is immediately addressable everywhere.
+STORE_BACKENDS: dict[str, Callable[[str | os.PathLike], StoreBackend]] = {
+    "local": LocalDirBackend,
+    "shared": SharedDirBackend,
+}
+
+
+def register_store_backend(
+    name: str, factory: Callable[[str | os.PathLike], StoreBackend]
+) -> None:
+    """Add a store backend (e.g. a remote/object-store implementation)."""
+    STORE_BACKENDS[name] = factory
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`ResultStore.gc` pass did (or would do)."""
+
+    removed: list[str] = field(default_factory=list)
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    dry_run: bool = False
+
+
+class ResultStore:
+    """Content-addressed JSON-on-disk cache of shard results."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike = DEFAULT_CACHE_DIR,
+        backend: str | StoreBackend = "local",
+    ):
+        if isinstance(backend, str):
+            if backend not in STORE_BACKENDS:
+                raise KeyError(
+                    f"unknown store backend {backend!r}; "
+                    f"known: {sorted(STORE_BACKENDS)}"
+                )
+            backend = STORE_BACKENDS[backend](root)
+        self.backend = backend
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.backend.path_for(key)
+
     def get(self, key: str) -> dict | None:
         """Return the stored data payload, or None (missing/corrupt)."""
-        entry = self._load_entry(self.path_for(key), key)
+        entry = self._parse_entry(self.backend.read(key), key)
         return None if entry is None else entry["data"]
 
     @staticmethod
-    def _load_entry(path: Path, key: str) -> dict | None:
-        """Parse and validate one entry file against its claimed key."""
+    def _parse_entry(text: str | None, key: str) -> dict | None:
+        """Parse and validate one entry's text against its claimed key."""
+        if text is None:
+            return None
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            entry = json.loads(text)
+        except json.JSONDecodeError:
             return None
         if (
             not isinstance(entry, dict)
@@ -103,23 +283,9 @@ class ResultStore:
         return entry
 
     def put(self, key: str, data: dict, meta: dict | None = None) -> None:
-        """Atomically persist one shard result."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Durably persist one shard result (atomicity per backend)."""
         entry = {"key": key, "meta": meta or {}, "data": data}
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(json.dumps(entry, sort_keys=True))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.backend.write(key, json.dumps(entry, sort_keys=True))
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
@@ -136,12 +302,16 @@ class ResultStore:
         return sorted(key for key, _path in self._valid_entries())
 
     def _valid_entries(self) -> list[tuple[str, Path]]:
-        if not self.root.is_dir():
-            return []
         out = []
-        for path in self.root.glob("??/*.json"):
+        for path in self.backend.entry_files():
             key = path.stem
-            if path == self.path_for(key) and self._load_entry(path, key):
+            if path != self.backend.path_for(key):
+                continue
+            try:
+                text: str | None = path.read_text()
+            except OSError:
+                text = None
+            if self._parse_entry(text, key):
                 out.append((key, path))
         return out
 
@@ -153,20 +323,84 @@ class ResultStore:
         behind by interrupted atomic writes.  Valid entries are
         untouched, so a prune never costs recomputation.
         """
-        if not self.root.is_dir():
-            return []
         removed: list[Path] = []
-        for path in self.root.glob("??/*.json"):
+        for path in self.backend.entry_files():
             key = path.stem
-            if path != self.path_for(key) or self._load_entry(path, key) is None:
-                removed.append(path)
-        removed.extend(self.root.glob("??/.*.tmp"))
-        for path in removed:
             try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing deleter
-                pass
+                text: str | None = path.read_text()
+            except OSError:
+                text = None
+            if path != self.backend.path_for(key) or self._parse_entry(
+                text, key
+            ) is None:
+                removed.append(path)
+        removed.extend(self.backend.stray_files())
+        for path in removed:
+            self.backend.delete(path)
         return sorted(removed)
+
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> GcReport:
+        """Age/size-bounded garbage collection (LRU by mtime); default off.
+
+        With ``max_age_days``, entries whose mtime is more than that
+        many days behind ``now`` are removed.  With ``max_bytes``, the
+        **oldest** entries are then evicted until the surviving valid
+        entries fit the budget.  Both bounds may be combined; with
+        neither, the pass is a no-op (a long-lived cache never
+        self-destructs by accident).
+
+        ``now`` defaults to the *newest entry's mtime* — ages are
+        measured relative to the most recent write, not the wall clock,
+        so a gc pass is a pure function of the directory state
+        (replayable in tests, immune to clock skew on shared storage).
+        Pass an explicit ``now`` (e.g. from the CLI) for calendar-time
+        policies.  ``dry_run`` reports what would be removed without
+        deleting.  Corrupt/foreign files are :meth:`prune`'s job, not
+        gc's.
+        """
+        entries = []
+        for key, path in self._valid_entries():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing deleter
+                continue
+            entries.append((key, path, stat.st_size, stat.st_mtime))
+        if not entries or (max_bytes is None and max_age_days is None):
+            total = sum(size for _, _, size, _ in entries)
+            return GcReport(kept=len(entries), kept_bytes=total, dry_run=dry_run)
+
+        if now is None:
+            now = max(mtime for _, _, _, mtime in entries)
+        # Oldest first; path tie-break keeps eviction order deterministic.
+        entries.sort(key=lambda e: (e[3], str(e[1])))
+        doomed: list[tuple[str, Path, int, float]] = []
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            while entries and entries[0][3] < cutoff:
+                doomed.append(entries.pop(0))
+        if max_bytes is not None:
+            kept_bytes = sum(size for _, _, size, _ in entries)
+            while entries and kept_bytes > max_bytes:
+                victim = entries.pop(0)
+                kept_bytes -= victim[2]
+                doomed.append(victim)
+        if not dry_run:
+            for _key, path, _size, _mtime in doomed:
+                self.backend.delete(path)
+        return GcReport(
+            removed=sorted(key for key, _, _, _ in doomed),
+            freed_bytes=sum(size for _, _, size, _ in doomed),
+            kept=len(entries),
+            kept_bytes=sum(size for _, _, size, _ in entries),
+            dry_run=dry_run,
+        )
 
     def __len__(self) -> int:
         return len(self.keys())

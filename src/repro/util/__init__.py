@@ -1,10 +1,12 @@
-"""Shared utilities: deterministic RNG and bit-string encodings."""
+"""Shared utilities: deterministic RNG, canonical JSON, bit encodings."""
 
 from repro.util.encoding import (
     bits_to_int,
     bytes_to_bits,
+    canonical_json,
     double_and_terminate,
     int_to_bits,
+    json_roundtrip,
     undouble,
 )
 from repro.util.lcg import SplitMix64, derive_seed
@@ -12,6 +14,8 @@ from repro.util.lcg import SplitMix64, derive_seed
 __all__ = [
     "SplitMix64",
     "derive_seed",
+    "canonical_json",
+    "json_roundtrip",
     "int_to_bits",
     "bits_to_int",
     "double_and_terminate",

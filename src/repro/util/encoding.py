@@ -1,29 +1,61 @@
-"""Bit-string encodings used by the label-based rendezvous machinery.
+"""Deterministic encodings: canonical JSON and rendezvous bit strings.
 
-``AsymmRV`` (our substitute for the algorithm of Czyzowicz, Kosowski &
-Pelc [20]) turns each agent's truncated view into a *label* — a finite
-bit string — and then schedules exploration/waiting periods from a
-transformed version of that label.  The transformations here provide
-the two properties the correctness argument needs:
+Two unrelated-looking codec families live here because they share one
+contract — **byte-stable encodings** that every layer of the system can
+rely on being identical across processes, machines, and re-runs:
 
-* :func:`double_and_terminate` makes the code **prefix-free**: no
-  transformed label is a prefix of another, so unequal labels disagree
-  at some position even when their raw lengths differ.
-* :func:`int_to_bits` / :func:`bits_to_int` are the canonical binary
-  codecs used to serialize view signatures.
+* :func:`canonical_json` / :func:`json_roundtrip` are the canonical
+  JSON codec behind the content-addressed result store, the run
+  journal, the campaign replay artifacts, and every byte-identity
+  check in CI (the REPRO104 lint rule enforces routing through them —
+  see docs/static_analysis.md).  They used to live in
+  :mod:`repro.experiments.store`, which still re-exports them.
+* the bit-string transforms are used by ``AsymmRV`` (our substitute
+  for the algorithm of Czyzowicz, Kosowski & Pelc [20]), which turns
+  each agent's truncated view into a *label* — a finite bit string —
+  and schedules exploration/waiting periods from a transformed version
+  of that label.  :func:`double_and_terminate` makes the code
+  **prefix-free**: no transformed label is a prefix of another, so
+  unequal labels disagree at some position even when their raw lengths
+  differ.  :func:`int_to_bits` / :func:`bits_to_int` are the canonical
+  binary codecs used to serialize view signatures.
 """
 
 from __future__ import annotations
 
+import json
 from collections.abc import Iterable, Sequence
+from typing import Any
 
 __all__ = [
+    "canonical_json",
+    "json_roundtrip",
     "int_to_bits",
     "bits_to_int",
     "double_and_terminate",
     "undouble",
     "bytes_to_bits",
 ]
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    The single canonical serializer: cache keys are SHA-256 digests of
+    this text, journal lines are this text, and CI asserts cold==warm
+    byte-identity over outputs derived from it.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def json_roundtrip(obj: Any) -> Any:
+    """Normalize a payload to what a store read would return.
+
+    The orchestrator passes every shard result through this even when
+    caching is off, so merged records are bit-identical between cold,
+    warm, and cache-disabled runs.
+    """
+    return json.loads(canonical_json(obj))
 
 
 def int_to_bits(value: int, width: int | None = None) -> tuple[int, ...]:

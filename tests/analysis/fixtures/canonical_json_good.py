@@ -12,3 +12,10 @@ def cache_key(payload: dict) -> str:
 def write_entry(path: str, entry: dict) -> None:
     with open(path, "w") as fh:
         json.dump(entry, fh, sort_keys=True, indent=2)
+
+
+def journal_line(event: dict) -> str:
+    # The shared helper at its canonical home satisfies REPRO104 too.
+    from repro.util.encoding import canonical_json
+
+    return canonical_json(event) + "\n"

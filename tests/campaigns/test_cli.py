@@ -131,3 +131,48 @@ def test_runner_dispatches_campaign_subcommand(capsys):
     assert runner_main(["campaign", "list"]) == 0
     out = capsys.readouterr().out
     assert "campaign" in out and "checks" in out
+
+
+def test_status_shows_completed_ledger(tmp_path, capsys, mini_registry):
+    cache = str(tmp_path / "cache")
+    code = campaign_main(
+        ["run", "mini-cli", "--tier", "smoke", "--cache-dir", cache,
+         "--artifacts", str(tmp_path / "artifacts")]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    run_id = next(
+        word for word in out.split() if word.startswith("run-")
+    )
+    assert campaign_main(["status", run_id, "--cache-dir", cache]) == 0
+    status_out = capsys.readouterr().out
+    assert f"run {run_id}" in status_out
+    assert "CAMPAIGN/mini-cli" in status_out
+    assert "0 leased, 0 quarantined, 0 pending" in status_out
+
+
+def test_status_unknown_run_exits_two(tmp_path, capsys):
+    code = campaign_main(
+        ["status", "run-doesnotexist", "--cache-dir", str(tmp_path / "c")]
+    )
+    assert code == 2
+    assert "no journal" in capsys.readouterr().err
+
+
+def test_resume_recomputes_nothing_completed(tmp_path, capsys, mini_registry):
+    cache = str(tmp_path / "cache")
+    base = ["run", "mini-cli", "--tier", "smoke", "--cache-dir", cache,
+            "--artifacts", str(tmp_path / "artifacts")]
+    assert campaign_main(base) == 0
+    capsys.readouterr()
+    # --resume re-attaches to the journaled run: everything completed.
+    assert campaign_main(base + ["--resume"]) == 0
+    assert "recomputed=0" in capsys.readouterr().out
+
+
+def test_resume_conflicts_with_no_cache(tmp_path, capsys, mini_registry):
+    code = campaign_main(
+        ["run", "mini-cli", "--tier", "smoke", "--no-cache", "--resume"]
+    )
+    assert code == 2
+    assert "--resume needs the journal" in capsys.readouterr().err

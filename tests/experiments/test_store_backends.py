@@ -1,0 +1,177 @@
+"""Pluggable store backends and bounded GC.
+
+The backend seam (``StoreBackend`` protocol) must not change entry
+semantics: the same key maps to the same path and the same canonical
+bytes under every backend.  ``SharedDirBackend`` adds process-safe
+write-once behaviour; ``gc`` evicts LRU by mtime under explicit
+bounds and never runs implicitly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.store import (
+    STORE_BACKENDS,
+    LocalDirBackend,
+    ResultStore,
+    SharedDirBackend,
+    StoreBackend,
+    register_store_backend,
+)
+from repro.experiments.store_cli import main as store_cli_main
+from repro.experiments.store_cli import parse_size
+
+
+def _fill(store: ResultStore, count: int) -> list[str]:
+    keys = []
+    for i in range(count):
+        key = f"{i:064x}"
+        store.put(key, {"value": i})
+        keys.append(key)
+    return keys
+
+
+class TestBackendSeam:
+    def test_backends_are_protocol_instances(self):
+        for cls in STORE_BACKENDS.values():
+            assert isinstance(cls("/tmp/x"), StoreBackend)
+
+    def test_registry_and_name_resolution(self, tmp_path):
+        store = ResultStore(tmp_path, backend="shared")
+        assert isinstance(store.backend, SharedDirBackend)
+        with pytest.raises(KeyError, match="unknown store backend"):
+            ResultStore(tmp_path, backend="s3")
+
+    def test_register_custom_backend(self, tmp_path):
+        class TracingBackend(LocalDirBackend):
+            writes = 0
+
+            def write(self, key, text):
+                TracingBackend.writes += 1
+                super().write(key, text)
+
+        register_store_backend("tracing-test", TracingBackend)
+        try:
+            store = ResultStore(tmp_path, backend="tracing-test")
+            _fill(store, 2)
+            assert TracingBackend.writes == 2
+        finally:
+            del STORE_BACKENDS["tracing-test"]
+
+    def test_backends_write_identical_bytes(self, tmp_path):
+        local = ResultStore(tmp_path / "local", backend="local")
+        shared = ResultStore(tmp_path / "shared", backend="shared")
+        [key_l] = _fill(local, 1)
+        [key_s] = _fill(shared, 1)
+        assert (
+            local.path_for(key_l).read_bytes()
+            == shared.path_for(key_s).read_bytes()
+        )
+        assert local.get(key_l) == shared.get(key_s) == {"value": 0}
+
+
+class TestSharedDirBackend:
+    def test_write_once_first_writer_wins(self, tmp_path):
+        store = ResultStore(tmp_path, backend="shared")
+        [key] = _fill(store, 1)
+        before = store.path_for(key).stat().st_mtime_ns
+        # A concurrent writer landing the same key is a no-op: the
+        # entry is a pure function of the key, so the bytes agree.
+        store.put(key, {"value": 0})
+        assert store.path_for(key).stat().st_mtime_ns == before
+
+    def test_corrupt_entry_is_overwritten_not_skipped(self, tmp_path):
+        store = ResultStore(tmp_path, backend="shared")
+        [key] = _fill(store, 1)
+        store.path_for(key).write_text("{truncated")
+        store.put(key, {"value": 0})
+        assert store.get(key) == {"value": 0}
+
+
+class TestGc:
+    def _age(self, store: ResultStore, key: str, days: float) -> None:
+        path = store.path_for(key)
+        stamp = path.stat().st_mtime - days * 86400.0
+        os.utime(path, (stamp, stamp))
+
+    def test_gc_without_bounds_removes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _fill(store, 3)
+        report = store.gc()
+        assert report.removed == [] and report.kept == 3
+
+    def test_max_bytes_evicts_lru_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _fill(store, 4)
+        for i, key in enumerate(keys):
+            self._age(store, key, days=len(keys) - i)  # keys[0] oldest
+        entry_size = store.path_for(keys[0]).stat().st_size
+        report = store.gc(max_bytes=2 * entry_size + 1)
+        assert report.removed == sorted(keys[:2])
+        assert store.get(keys[0]) is None and store.get(keys[3]) is not None
+        assert report.kept == 2 and report.kept_bytes <= 2 * entry_size + 2
+
+    def test_max_age_is_relative_to_newest_entry(self, tmp_path):
+        # `now` defaults to the newest mtime, so GC is a pure function
+        # of directory state (no wall-clock read — REPRO105).
+        store = ResultStore(tmp_path)
+        keys = _fill(store, 3)
+        self._age(store, keys[0], days=10)
+        self._age(store, keys[1], days=4)
+        report = store.gc(max_age_days=7)
+        assert report.removed == [keys[0]]
+        assert sorted(store.keys()) == sorted(keys[1:])
+
+    def test_explicit_now_overrides(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _fill(store, 2)
+        newest = store.path_for(keys[1]).stat().st_mtime
+        report = store.gc(max_age_days=1, now=newest + 3 * 86400.0)
+        assert sorted(report.removed) == sorted(keys)
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = _fill(store, 3)
+        report = store.gc(max_bytes=0, dry_run=True)
+        assert report.dry_run and sorted(report.removed) == sorted(keys)
+        assert len(store.keys()) == 3
+
+
+class TestStoreCli:
+    def test_parse_size(self):
+        assert parse_size("1048576") == 1024**2
+        assert parse_size("500M") == 500 * 1024**2
+        assert parse_size("2G") == 2 * 1024**3
+        assert parse_size("1.5K") == 1536
+        assert parse_size("10KiB") == 10240
+        with pytest.raises(ValueError):
+            parse_size("lots")
+        with pytest.raises(ValueError):
+            parse_size("-1M")
+
+    def test_status_gc_prune_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        store = ResultStore(cache)
+        keys = _fill(store, 3)
+        (store.path_for(keys[0]).parent / ".junk.tmp").write_text("x")
+
+        assert store_cli_main(["status", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 3" in out and "stray files: 1" in out
+
+        assert store_cli_main(["prune", "--cache-dir", cache]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+
+        assert (
+            store_cli_main(
+                ["gc", "--cache-dir", cache, "--max-bytes", "0", "--dry-run"]
+            )
+            == 0
+        )
+        assert "would remove 3" in capsys.readouterr().out
+        assert len(store.keys()) == 3
+
+        assert store_cli_main(["gc", "--cache-dir", cache]) == 2  # no bound
+        assert "nothing to do" in capsys.readouterr().err
